@@ -1,0 +1,120 @@
+"""Experiment L1 — Listing 1: loc vs par vs dist sum-of-squares.
+
+The paper's Listing 1 presents three variants of the same computation.
+This bench measures:
+
+* real wall-clock time of ``loc`` vs ``par`` (thread-pool futures) on a
+  CPU-bearing body — par should win once per-item work dominates;
+* virtual-time makespan of ``dist`` as the node count grows — the
+  distributed variant's makespan shrinks roughly with cluster size.
+"""
+
+import pytest
+
+from repro.gvm.runtime import make_runtime
+from repro.harness.reporting import series, table
+from repro.vinz.api import VinzEnvironment
+
+LOCAL_DEFS = """
+(defun work (n)
+  ;; a deliberately CPU-ish body so parallelism has something to chew
+  (let ((acc 0))
+    (dotimes (i 300) (setq acc (+ acc (* n n))))
+    acc))
+
+(defun loc-sum (numbers)
+  (apply #'+ (loop for n in numbers collect (work n))))
+
+(defun par-sum (numbers)
+  (apply #'+ (loop for n in numbers collect (future (work n)))))
+"""
+
+DIST_WORKFLOW = """
+(defun main (numbers)
+  (apply #'+
+    (for-each (n in numbers)
+      (compute 1.0)      ; each square costs 1 simulated second
+      (* n n))))
+"""
+
+NUMBERS = list(range(1, 13))
+GOZER_NUMBERS = "(list " + " ".join(map(str, NUMBERS)) + ")"
+EXPECTED_WORK = sum(300 * n * n for n in NUMBERS)
+
+
+def run_loc():
+    rt = make_runtime(deterministic=True)
+    rt.eval_string(LOCAL_DEFS)
+    value = rt.eval_string(f"(loc-sum {GOZER_NUMBERS})")
+    assert value == EXPECTED_WORK
+    return value
+
+
+def run_par():
+    rt = make_runtime(deterministic=False, max_workers=4)
+    try:
+        rt.eval_string(LOCAL_DEFS)
+        value = rt.eval_string(f"(par-sum {GOZER_NUMBERS})")
+        assert value == EXPECTED_WORK
+        return value
+    finally:
+        rt.shutdown()
+
+
+def dist_makespan(nodes: int) -> float:
+    env = VinzEnvironment(nodes=nodes, seed=7, trace=False)
+    env.deploy_workflow("SumSquares", DIST_WORKFLOW, spawn_limit=64)
+    env.run("SumSquares", NUMBERS)
+    return env.cluster.kernel.now
+
+
+def test_listing1_loc(benchmark):
+    benchmark(run_loc)
+
+
+def test_listing1_par(benchmark):
+    benchmark(run_par)
+
+
+def test_listing1_dist_scaling(benchmark, bench_report):
+    benchmark(lambda: dist_makespan(4))
+
+    points = []
+    serial_seconds = float(len(NUMBERS))  # 12 x 1s of simulated work
+    for nodes in (1, 2, 4, 8, 16):
+        makespan = dist_makespan(nodes)
+        points.append((nodes, round(makespan, 3),
+                       round(serial_seconds / makespan, 2)))
+    bench_report("listing1_dist_scaling", series(
+        "Listing 1 — dist-sum-squares makespan vs cluster size "
+        f"({len(NUMBERS)} items x 1s simulated work)",
+        "nodes", ["makespan (virt s)", "speedup vs serial"], points))
+
+    # shape: more nodes => smaller makespan, approaching items/nodes
+    makespans = {n: m for n, m, _ in points}
+    assert makespans[8] < makespans[2] < makespans[1]
+    assert makespans[1] >= serial_seconds  # one node can't beat serial
+
+
+def test_listing1_all_variants_agree(bench_report):
+    env = VinzEnvironment(nodes=4, seed=8, trace=False)
+    env.deploy_workflow("Dist", """
+        (defun main (numbers)
+          (apply #'+ (for-each (n in numbers) (* n n))))""")
+    dist_value = env.call("Dist", NUMBERS)
+
+    rt = make_runtime(deterministic=True)
+    loc_value = rt.eval_string(
+        f"(apply #'+ (loop for n in {GOZER_NUMBERS} collect (* n n)))")
+    par_value = rt.eval_string(
+        f"(apply #'+ (loop for n in {GOZER_NUMBERS} "
+        "collect (future (* n n))))")
+
+    expected = sum(n * n for n in NUMBERS)
+    bench_report("listing1_agreement", table(
+        "Listing 1 — the three variants compute the same value",
+        ["variant", "result", "correct"],
+        [("loc-sum-squares", loc_value, loc_value == expected),
+         ("par-sum-squares", par_value, par_value == expected),
+         ("dist-sum-squares", dist_value, dist_value == expected)]))
+    assert loc_value == par_value == dist_value == expected

@@ -1,0 +1,85 @@
+"""Experiment S5a — the production day (Section 5).
+
+"A typical 24-hour period will see around 10,000 new top-level tasks
+comprising about 45,000 individual fibers.  Tasks ... may run for as
+long as 12 hours or as little as 20 milliseconds, with the average
+being about a minute.  If these 10,000 tasks were run back-to-back,
+they would require about 190 hours to complete."
+
+We run a scaled production day (task counts and window scaled by the
+same factor; per-task durations unscaled) and check that the generated
+workload matches the paper's statistics and that the cluster absorbs it
+within the day (190 serial hours fitting into 24 wall hours requires a
+sustained concurrency around 8; the cluster provides it).
+"""
+
+import pytest
+
+from repro.harness.reporting import paper_vs_measured
+from repro.workloads.production import (
+    PAPER_FIBERS_PER_DAY,
+    PAPER_MEAN_SECONDS,
+    PAPER_SERIAL_HOURS,
+    PAPER_TASKS_PER_DAY,
+    run_production_day,
+)
+
+
+def test_production_day(benchmark, bench_report):
+    result = benchmark.pedantic(
+        lambda: run_production_day(scale=0.02, nodes=12, slots=4, seed=2010),
+        rounds=1, iterations=1)
+
+    g = result.generated
+    scale = g["tasks"] / PAPER_TASKS_PER_DAY
+    rows = [
+        ("tasks (scaled to /day)", PAPER_TASKS_PER_DAY, g["tasks"] / scale),
+        ("fibers (scaled to /day)", PAPER_FIBERS_PER_DAY,
+         result.total_fibers / scale),
+        ("fibers per task", 4.5, result.total_fibers / g["tasks"]),
+        ("min task seconds", 0.02, g["min_seconds"]),
+        ("max task seconds (12h)", 43200, g["max_seconds"]),
+        ("mean task seconds", PAPER_MEAN_SECONDS, g["mean_seconds"]),
+        ("serial hours (scaled to /day)", PAPER_SERIAL_HOURS,
+         g["serial_hours"] / scale),
+        ("makespan vs day window", "fits",
+         f"{result.makespan_hours:.2f}h vs {24 * scale:.2f}h window"),
+        ("completed tasks", g["tasks"], result.completed_tasks),
+        ("failed tasks", 0, result.failed_tasks),
+        ("peak task concurrency", None, result.peak_task_concurrency),
+        ("mean task concurrency", None,
+         round(result.mean_task_concurrency, 2)),
+        ("peak fiber concurrency", None, result.peak_fiber_concurrency),
+        ("cluster utilization", None, round(result.utilization, 3)),
+        ("queue mean wait (s)", None, round(result.queue_mean_wait, 4)),
+        ("persist writes", None, result.persist_writes),
+        ("cache hit rate (mutable)", 0.18,
+         round(result.cache_hit_rates["mutable"], 3)),
+        ("cache hit rate (immutable)", 0.66,
+         round(result.cache_hit_rates["immutable"], 3)),
+    ]
+    bench_report("production_day", paper_vs_measured(
+        "Section 5 — a (2%-scale) production day", rows))
+
+    # hard checks: everything completed, inside ~the scaled day window
+    assert result.failed_tasks == 0
+    assert result.completed_tasks == g["tasks"]
+    # fibers/task in the paper's ballpark (4.5)
+    assert 2.5 < result.total_fibers / g["tasks"] < 7.5
+    # the cluster actually ran tasks concurrently
+    assert result.peak_task_concurrency > 1
+
+
+def test_production_day_deterministic():
+    """Same seed => identical outcome (the simulation is reproducible)."""
+    a = run_production_day(scale=0.003, nodes=6, slots=2, seed=77)
+    b = run_production_day(scale=0.003, nodes=6, slots=2, seed=77)
+    assert a.generated == b.generated
+    assert a.makespan_hours == pytest.approx(b.makespan_hours, abs=1e-6)
+    assert a.persist_writes == b.persist_writes
+
+
+def test_production_day_different_seeds_differ():
+    a = run_production_day(scale=0.003, nodes=6, slots=2, seed=1)
+    b = run_production_day(scale=0.003, nodes=6, slots=2, seed=2)
+    assert a.generated != b.generated

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one paper artifact (table, figure, or
+quantitative claim — see DESIGN.md §4) and writes its report to
+``benchmarks/out/<name>.txt`` in addition to printing it, so that
+EXPERIMENTS.md can be assembled from a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import os
+
+import pytest
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def report(name: str, text: str) -> None:
+    """Print a report and persist it under benchmarks/out/."""
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, name + ".txt"), "w") as fh:
+        fh.write(text + "\n")
+    print("\n" + text)
+
+
+@pytest.fixture
+def bench_report():
+    return report

@@ -1,0 +1,54 @@
+"""repro — a reproduction of "The Gozer Workflow System" (IPPS 2010).
+
+The package mirrors the paper's architecture:
+
+* :mod:`repro.lang` — the Gozer language front end (reader, macros,
+  compiler, standard library);
+* :mod:`repro.gvm` — the Gozer Virtual Machine: bytecode interpreter
+  with serializable continuations, futures, and the condition system;
+* :mod:`repro.bluebox` — a simulation of the proprietary BlueBox
+  platform: message queue, cluster, services, WSDL, shared store,
+  distributed locks;
+* :mod:`repro.vinz` — the Vinz distribution module: tasks, fibers,
+  workflow services, ``for-each``/``parallel``, task variables,
+  ``deflink``, named handlers, persistence;
+* :mod:`repro.workloads` — synthetic workload generators calibrated to
+  the paper's production statistics.
+
+Quickstart::
+
+    from repro import make_runtime
+
+    rt = make_runtime()
+    rt.eval_string("(defun square (x) (* x x))")
+    assert rt.eval_string("(square 7)") == 49
+"""
+
+from .gvm.runtime import Runtime, make_runtime
+from .gvm.vm import VM, Done, Yielded
+from .gvm.continuations import Continuation
+from .gvm.futures import (
+    GozerFuture,
+    SynchronousFutureExecutor,
+    ThreadPoolFutureExecutor,
+)
+from .lang.reader import read_all, read_string
+from .lang.symbols import Keyword, Symbol
+
+__all__ = [
+    "Runtime",
+    "make_runtime",
+    "VM",
+    "Done",
+    "Yielded",
+    "Continuation",
+    "GozerFuture",
+    "SynchronousFutureExecutor",
+    "ThreadPoolFutureExecutor",
+    "read_all",
+    "read_string",
+    "Keyword",
+    "Symbol",
+]
+
+__version__ = "1.0.0"

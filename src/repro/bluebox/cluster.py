@@ -1,0 +1,467 @@
+"""The simulated BlueBox cluster.
+
+Nodes host service instances; the message queue load-balances operation
+requests across them.  The cluster is driven by the discrete-event
+kernel (:mod:`repro.bluebox.clock`), so every run is deterministic given
+a seed, and simulated days finish in real milliseconds.
+
+Failure semantics follow the paper (Section 3.2): when an instance dies
+mid-request, the message queue re-delivers the message to another
+instance, so "the failure of any instance will result in only minimal
+delays as other instances automatically compensate".
+
+A node's request slots are shared by every service deployed on it —
+the cluster-operations reality behind the paper's Section 5 remark that
+"because instances are often shared across services, even unrelated
+service operations may be blocked".
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Dict, List, Optional
+
+from .clock import SimKernel
+from .messagequeue import (
+    Message,
+    MessageQueue,
+    PRIORITY_NORMAL,
+    ReplyTo,
+)
+from .monitoring import Counters, TraceLog
+from .services import (
+    OperationContext,
+    ResponseEnvelope,
+    Service,
+    ServiceFault,
+)
+from .wsdl import WsdlDocument
+
+
+class Node:
+    """One machine in the cluster."""
+
+    def __init__(self, node_id: str, slots: int = 1):
+        self.id = node_id
+        self.slots = slots
+        self.busy = 0
+        self.alive = True
+        self.services: Dict[str, "ServiceInstance"] = {}
+        #: arbitrary per-node memory — Vinz hangs the fiber cache here
+        self.memory: Dict[str, Any] = {}
+        # statistics
+        self.processed = 0
+        self.busy_time = 0.0
+
+    @property
+    def free_slots(self) -> int:
+        return self.slots - self.busy if self.alive else 0
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return f"<Node {self.id} {state} {self.busy}/{self.slots} busy>"
+
+
+class ServiceInstance:
+    """One service deployed on one node."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, node: Node, service: Service):
+        self.id = f"{service.name}@{node.id}"
+        self.node = node
+        self.service = service
+        self.processed = 0
+
+    def __repr__(self) -> str:
+        return f"<Instance {self.id}>"
+
+
+class _InFlight:
+    """A request being processed; ``valid`` is cleared on node failure."""
+
+    def __init__(self, message: Message, instance: ServiceInstance,
+                 started: float):
+        self.message = message
+        self.instance = instance
+        self.started = started
+        self.valid = True
+        self.context: Optional[OperationContext] = None
+
+
+class Cluster:
+    """The simulated BlueBox environment.
+
+    Typical setup::
+
+        cluster = Cluster(seed=1)
+        cluster.add_nodes(4, slots=2)
+        cluster.deploy(my_service)
+        envelope = cluster.call("MyService", "DoThing", {"x": 1})
+    """
+
+    def __init__(self, seed: int = 0, delivery_latency: float = 0.002,
+                 redelivery_delay: float = 0.05, trace: bool = True):
+        self.kernel = SimKernel()
+        self.queue = MessageQueue()
+        self.rng = random.Random(seed)
+        self.delivery_latency = delivery_latency
+        self.redelivery_delay = redelivery_delay
+        self.nodes: Dict[str, Node] = {}
+        self.services: Dict[str, Service] = {}
+        self.trace = TraceLog(enabled=trace)
+        self.counters = Counters()
+        self._in_flight: List[_InFlight] = []
+        self._node_seq = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def add_node(self, node_id: Optional[str] = None, slots: int = 1) -> Node:
+        node = Node(node_id or f"node-{next(self._node_seq)}", slots=slots)
+        self.nodes[node.id] = node
+        # a new node hosts every already-deployed service
+        for service in self.services.values():
+            node.services[service.name] = ServiceInstance(node, service)
+        self._kick_all()
+        return node
+
+    def add_nodes(self, count: int, slots: int = 1) -> List[Node]:
+        return [self.add_node(slots=slots) for _ in range(count)]
+
+    def deploy(self, service: Service,
+               node_ids: Optional[List[str]] = None) -> Service:
+        """Deploy ``service`` on the given nodes (default: all nodes)."""
+        self.services[service.name] = service
+        targets = ([self.nodes[nid] for nid in node_ids] if node_ids
+                   else list(self.nodes.values()))
+        for node in targets:
+            node.services[service.name] = ServiceInstance(node, service)
+        service.on_deployed(self)
+        self._kick(service.name)
+        return service
+
+    def get_wsdl(self, service_name: str) -> WsdlDocument:
+        """Fetch a service's interface document (what deflink does)."""
+        service = self.services.get(service_name)
+        if service is None:
+            raise KeyError(f"no service named {service_name!r} is deployed")
+        return service.wsdl
+
+    def find_service_by_namespace(self, namespace: str) -> Optional[Service]:
+        for service in self.services.values():
+            if service.namespace == namespace:
+                return service
+        return None
+
+    # ------------------------------------------------------------------
+    # messaging
+    # ------------------------------------------------------------------
+
+    def send(self, service: str, operation: str, body: Dict[str, Any],
+             priority: int = PRIORITY_NORMAL,
+             reply_to: Optional[ReplyTo] = None,
+             max_attempts: int = 10,
+             affinity: Optional[str] = None) -> Message:
+        """Place a message on the queue (asynchronous)."""
+        if service not in self.services:
+            raise KeyError(f"no service named {service!r} is deployed")
+        message = self.queue.make_message(service, operation, body,
+                                          priority=priority,
+                                          reply_to=reply_to,
+                                          now=self.kernel.now,
+                                          max_attempts=max_attempts,
+                                          affinity=affinity)
+        self.queue.enqueue(message, self.kernel.now)
+        self.trace.record(self.kernel.now, "enqueue", service=service,
+                          operation=operation, msg=message.id,
+                          priority=priority, **_trace_ids(body))
+        self.kernel.schedule(self.delivery_latency,
+                             lambda: self._kick(service))
+        return message
+
+    def call(self, service: str, operation: str, body: Dict[str, Any],
+             priority: int = PRIORITY_NORMAL,
+             timeout: Optional[float] = None) -> ResponseEnvelope:
+        """Synchronous call from *outside* the cluster.
+
+        Runs the simulation until the response arrives (or the optional
+        virtual-time timeout passes).
+        """
+        holder: List[ResponseEnvelope] = []
+
+        def callback(response_body: Dict[str, Any]) -> None:
+            holder.append(ResponseEnvelope.from_body(response_body))
+
+        self.send(service, operation, body, priority=priority,
+                  reply_to=ReplyTo(callback=callback))
+        deadline = (self.kernel.now + timeout) if timeout is not None else None
+        satisfied = self.kernel.run_until(lambda: bool(holder),
+                                          deadline=deadline)
+        if not satisfied:
+            raise TimeoutError(
+                f"{service}.{operation} did not respond "
+                f"(queue depth {self.queue.total_depth()})")
+        return holder[0]
+
+    def call_inline(self, service_name: str, operation: str,
+                    body: Dict[str, Any],
+                    parent_context: Optional[OperationContext] = None
+                    ) -> ResponseEnvelope:
+        """A *synchronous* service request, bypassing the queue.
+
+        This is the path the paper prescribes for requests from a
+        future's background thread and for operations the programmer
+        marks synchronous (Section 3.2): the sender blocks while the
+        operation runs, so the time is charged to the sender's own slot.
+        """
+        service = self.services.get(service_name)
+        if service is None:
+            raise KeyError(f"no service named {service_name!r} is deployed")
+        hosts = [node for node in self.nodes.values()
+                 if node.alive and service_name in node.services]
+        if not hosts:
+            raise KeyError(f"no alive instance of {service_name!r}")
+        node = self.rng.choice(hosts)
+        instance = node.services[service_name]
+        message = self.queue.make_message(service_name, operation, body,
+                                          now=self.kernel.now)
+        context = OperationContext(self, instance, message)
+        self.counters.incr(f"sync.{service_name}.{operation}")
+        try:
+            value = service.handle(context, operation, body)
+            envelope = ResponseEnvelope(value=value)
+        except ServiceFault as fault:
+            envelope = ResponseEnvelope(fault_qname=fault.qname,
+                                        fault_message=fault.message)
+        context.flush_outbox()  # synchronous call: effects are immediate
+        envelope.duration = context.charged + 2 * self.delivery_latency
+        if parent_context is not None:
+            # the synchronous caller pays for the whole round trip
+            parent_context.charge(envelope.duration)
+        return envelope
+
+    def run_until_idle(self) -> float:
+        return self.kernel.run_until_idle()
+
+    def run_until(self, predicate: Callable[[], bool],
+                  deadline: Optional[float] = None) -> bool:
+        return self.kernel.run_until(predicate, deadline=deadline)
+
+    # ------------------------------------------------------------------
+    # dispatch machinery
+    # ------------------------------------------------------------------
+
+    def _kick_all(self) -> None:
+        for service_name in self.queue.services_with_messages():
+            self._kick(service_name)
+
+    def _kick(self, service_name: str) -> None:
+        """Deliver queued messages for a service while slots are free."""
+        while self._dispatch_one(service_name):
+            pass
+
+    def _dispatch_one(self, service_name: str) -> bool:
+        pending = self.queue.peek_message(service_name)
+        if pending is None:
+            return False
+        instance = self._pick_instance(service_name, pending.affinity)
+        if instance is None:
+            return False
+        message = self.queue.pop_next(service_name, self.kernel.now)
+        if message is None:  # pragma: no cover - guarded by peek
+            return False
+        if message.affinity is not None:
+            if instance.node.id == message.affinity:
+                self.counters.incr("placement.affinity-hit")
+            else:
+                self.counters.incr("placement.affinity-miss")
+        self._process(instance, message)
+        return True
+
+    def _kick_node(self, node: Node) -> None:
+        """A slot freed on ``node``: deliver waiting work in *global*
+        priority order across every service the node hosts — this is
+        what keeps interactive traffic ahead of batch AwakeFiber storms
+        (paper Sections 3.2 and 5)."""
+        while True:
+            best = None
+            for service_name in node.services:
+                peek = self.queue.peek_priority(service_name)
+                if peek is not None and (best is None or peek < best[0]):
+                    best = (peek, service_name)
+            if best is None:
+                return
+            if not self._dispatch_one(best[1]):
+                return
+
+    def _pick_instance(self, service_name: str,
+                       affinity: Optional[str] = None
+                       ) -> Optional[ServiceInstance]:
+        """Load balancing: the free instance on the least-busy node.
+
+        A message's ``affinity`` hint wins when that node can take the
+        work right now; otherwise normal balancing applies (the hint is
+        soft — correctness never depends on it).
+        """
+        if affinity is not None:
+            preferred = self.nodes.get(affinity)
+            if preferred is not None and preferred.alive \
+                    and service_name in preferred.services \
+                    and preferred.free_slots > 0:
+                return preferred.services[service_name]
+        candidates = [node.services[service_name]
+                      for node in self.nodes.values()
+                      if node.alive and service_name in node.services
+                      and node.free_slots > 0]
+        if not candidates:
+            return None
+        least = min(c.node.busy for c in candidates)
+        pool = [c for c in candidates if c.node.busy == least]
+        return self.rng.choice(pool)
+
+    def _process(self, instance: ServiceInstance, message: Message) -> None:
+        node = instance.node
+        node.busy += 1
+        started = self.kernel.now
+        record = _InFlight(message, instance, started)
+        self._in_flight.append(record)
+        self.trace.record(started, "deliver", service=message.service,
+                          operation=message.operation, msg=message.id,
+                          node=node.id, **_trace_ids(message.body))
+        context = OperationContext(self, instance, message)
+        record.context = context
+        try:
+            value = instance.service.handle(context, message.operation,
+                                            message.body)
+            envelope = ResponseEnvelope(value=value)
+        except ServiceFault as fault:
+            envelope = ResponseEnvelope(fault_qname=fault.qname,
+                                        fault_message=fault.message)
+        duration = max(context.charged, 1e-6)
+        self.kernel.schedule(
+            duration, lambda: self._complete(record, envelope, duration))
+
+    def _complete(self, record: _InFlight, envelope: ResponseEnvelope,
+                  duration: float) -> None:
+        if not record.valid:
+            return  # the node died while processing; message was requeued
+        self._in_flight.remove(record)
+        node = record.instance.node
+        node.busy -= 1
+        node.processed += 1
+        node.busy_time += duration
+        record.instance.processed += 1
+        self.counters.incr(f"op.{record.message.service}.{record.message.operation}")
+        self.counters.add("busy_time", duration)
+        message = record.message
+        if record.context is not None:
+            for hook in record.context.completion_hooks:
+                hook()
+        from .services import Deferred, Requeue
+
+        if record.context is not None and \
+                not isinstance(envelope.value, Requeue):
+            # transactional sends: the operation's outgoing messages hit
+            # the queue now, at the end of its simulated window
+            record.context.flush_outbox()
+        if isinstance(envelope.value, Requeue):
+            # the handler backed off (e.g. AwakeFiber lock patience):
+            # the message goes back on the queue, keeping its reply_to
+            self.trace.record(self.kernel.now, "requeue",
+                              service=message.service,
+                              operation=message.operation, msg=message.id,
+                              node=node.id)
+            delay = envelope.value.delay
+            if self.queue.requeue(message, self.kernel.now):
+                self.kernel.schedule(max(delay, 0.0),
+                                     lambda s=message.service: self._kick(s))
+            self._kick_node(node)
+            return
+        self.trace.record(self.kernel.now, "complete", service=message.service,
+                          operation=message.operation, msg=message.id,
+                          node=node.id, ok=envelope.ok)
+        if isinstance(envelope.value, Deferred):
+            pass  # reply postponed; the Deferred resolves it later
+        elif message.reply_to is not None:
+            self._route_reply(message.reply_to, envelope)
+        # the freed slot may unblock any service on this node
+        self._kick_node(node)
+
+    def _route_reply(self, reply_to: ReplyTo, envelope: ResponseEnvelope) -> None:
+        body = envelope.to_body()
+        if reply_to.callback is not None:
+            callback = reply_to.callback
+            self.kernel.schedule(self.delivery_latency,
+                                 lambda: callback(body))
+            return
+        merged = dict(reply_to.extra)
+        merged["response"] = body
+        self.send(reply_to.service, reply_to.operation, merged,
+                  max_attempts=1_000_000, affinity=reply_to.affinity)
+
+    # ------------------------------------------------------------------
+    # failure injection (survivability, paper Section 3.2)
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: str) -> int:
+        """Kill a node.  In-flight messages are re-queued for delivery
+        elsewhere; per-node memory (caches) is lost.  Returns how many
+        requests were re-queued."""
+        node = self.nodes[node_id]
+        node.alive = False
+        node.memory.clear()
+        requeued = 0
+        for record in list(self._in_flight):
+            if record.instance.node is node:
+                record.valid = False
+                self._in_flight.remove(record)
+                node.busy -= 1
+                if record.context is not None:
+                    for hook in record.context.abort_hooks:
+                        hook()
+                message = record.message
+                self.trace.record(self.kernel.now, "instance-failure",
+                                  node=node.id, msg=message.id,
+                                  operation=message.operation)
+                if self.queue.requeue(message, self.kernel.now):
+                    requeued += 1
+                    service = message.service
+                    self.kernel.schedule(self.redelivery_delay,
+                                         lambda s=service: self._kick(s))
+        return requeued
+
+    def restore_node(self, node_id: str) -> None:
+        node = self.nodes[node_id]
+        node.alive = True
+        self._kick_all()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def alive_nodes(self) -> List[Node]:
+        return [n for n in self.nodes.values() if n.alive]
+
+    def total_slots(self) -> int:
+        return sum(n.slots for n in self.alive_nodes())
+
+    def utilization(self) -> float:
+        """Mean busy fraction across alive nodes since t=0."""
+        now = self.kernel.now
+        if now <= 0:
+            return 0.0
+        capacity = sum(n.slots for n in self.nodes.values()) * now
+        busy = sum(n.busy_time for n in self.nodes.values())
+        return busy / capacity if capacity else 0.0
+
+
+def _trace_ids(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Pull workflow identifiers out of a body for trace readability."""
+    out = {}
+    for key in ("task", "fiber"):
+        if key in body:
+            out[key] = body[key]
+    return out

@@ -1,0 +1,186 @@
+"""Distributed locks: the single-runner guarantee for fibers.
+
+Paper Section 4.2: "Another obvious requirement was a way to prevent a
+single fiber from being run by different JVMs at the same time ...
+distributed locks would be required."  The paper ships NFS file locks
+("simple and effective, but completely opaque", with per-NFS-server
+quirks) and is replacing them with an Apache-ZooKeeper-based
+implementation.  We build both:
+
+* :class:`FileLockManager` — advisory lock entries in the shared store
+  (the NFS stand-in), including an optional *release visibility delay*
+  to model the NFS attribute-cache quirk the paper complains about;
+* :class:`CoordinatorLockManager` — a ZooKeeper-like central
+  coordinator: sessions own ephemeral locks, and expiring a session
+  (node death) releases everything it held.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+
+class LockManager:
+    """Abstract distributed lock manager."""
+
+    def try_acquire(self, key: str, owner: str) -> bool:
+        """Attempt to take the lock; non-blocking."""
+        raise NotImplementedError
+
+    def release(self, key: str, owner: str) -> bool:
+        """Release a held lock; returns False if not held by ``owner``."""
+        raise NotImplementedError
+
+    def holder(self, key: str) -> Optional[str]:
+        raise NotImplementedError
+
+    def held(self, key: str) -> bool:
+        return self.holder(key) is not None
+
+
+class FileLockManager(LockManager):
+    """NFS-file-style locks stored as entries in the shared store.
+
+    ``release_visibility_delay`` models the NFS quirk: after a release,
+    other clients may still *see* the lock as held for a short window
+    (attribute caching).  The delay is in the owning clock's units; pass
+    ``clock_now`` to enable it.
+    """
+
+    LOCK_PREFIX = "locks/"
+
+    def __init__(self, store, clock_now: Optional[Callable[[], float]] = None,
+                 release_visibility_delay: float = 0.0):
+        self.store = store
+        self.clock_now = clock_now or (lambda: 0.0)
+        self.release_visibility_delay = release_visibility_delay
+        #: (key -> (release_time, last_owner)) for the visibility quirk
+        self._recently_released: Dict[str, Tuple[float, str]] = {}
+        # statistics
+        self.acquisitions = 0
+        self.contentions = 0
+
+    def _key(self, key: str) -> str:
+        return self.LOCK_PREFIX + key
+
+    def try_acquire(self, key: str, owner: str) -> bool:
+        skey = self._key(key)
+        if self.store.exists(skey):
+            current = self.store.read(skey).decode()
+            if current == owner:
+                return True  # re-entrant
+            self.contentions += 1
+            return False
+        if self.release_visibility_delay > 0:
+            stale = self._recently_released.get(key)
+            if stale is not None:
+                release_time, last_owner = stale
+                now = self.clock_now()
+                if now < release_time + self.release_visibility_delay \
+                        and last_owner != owner:
+                    # the quirk: a just-released lock still looks held
+                    self.contentions += 1
+                    return False
+                del self._recently_released[key]
+        self.store.write(skey, owner.encode())
+        self.acquisitions += 1
+        return True
+
+    def release(self, key: str, owner: str) -> bool:
+        skey = self._key(key)
+        if not self.store.exists(skey):
+            return False
+        if self.store.read(skey).decode() != owner:
+            return False
+        self.store.delete(skey)
+        if self.release_visibility_delay > 0:
+            self._recently_released[key] = (self.clock_now(), owner)
+        return True
+
+    def holder(self, key: str) -> Optional[str]:
+        skey = self._key(key)
+        if not self.store.exists(skey):
+            return None
+        return self.store.read(skey).decode()
+
+    def force_release(self, key: str) -> None:
+        """Administrative unlock (the opaque NFS escape hatch)."""
+        self.store.delete(self._key(key))
+
+    def stale_visibility_remaining(self, key: str) -> float:
+        """Seconds until a released-but-cached lock looks free.
+
+        Discrete-event clients cannot busy-wait (the virtual clock only
+        advances between events), so they *charge* this time and then
+        call :meth:`expire_visibility` — modelling a blocking wait for
+        the NFS attribute cache to refresh.
+        """
+        if self.release_visibility_delay <= 0:
+            return 0.0
+        stale = self._recently_released.get(key)
+        if stale is None or self.store.exists(self._key(key)):
+            return 0.0
+        release_time, _owner = stale
+        return max(0.0, release_time + self.release_visibility_delay
+                   - self.clock_now())
+
+    def expire_visibility(self, key: str) -> None:
+        """Drop the visibility-cache entry (the wait is over)."""
+        self._recently_released.pop(key, None)
+
+
+class CoordinatorLockManager(LockManager):
+    """A ZooKeeper-like coordinator: sessions + ephemeral locks.
+
+    Owners register a *session*; locks are ephemeral nodes owned by a
+    session.  Killing a session (the coordinator noticing a dead node)
+    atomically releases all of its locks — removing the opaque stale-
+    lock problem the paper attributes to NFS file locks.
+    """
+
+    def __init__(self):
+        self._locks: Dict[str, str] = {}  # key -> session owner
+        self._sessions: Dict[str, Set[str]] = {}  # owner -> keys held
+        # statistics
+        self.acquisitions = 0
+        self.contentions = 0
+        self.expired_sessions = 0
+
+    def ensure_session(self, owner: str) -> None:
+        self._sessions.setdefault(owner, set())
+
+    def try_acquire(self, key: str, owner: str) -> bool:
+        self.ensure_session(owner)
+        current = self._locks.get(key)
+        if current is None:
+            self._locks[key] = owner
+            self._sessions[owner].add(key)
+            self.acquisitions += 1
+            return True
+        if current == owner:
+            return True
+        self.contentions += 1
+        return False
+
+    def release(self, key: str, owner: str) -> bool:
+        if self._locks.get(key) != owner:
+            return False
+        del self._locks[key]
+        self._sessions.get(owner, set()).discard(key)
+        return True
+
+    def holder(self, key: str) -> Optional[str]:
+        return self._locks.get(key)
+
+    def expire_session(self, owner: str) -> List[str]:
+        """Session death: release every lock the owner held."""
+        keys = sorted(self._sessions.pop(owner, set()))
+        for key in keys:
+            if self._locks.get(key) == owner:
+                del self._locks[key]
+        if keys:
+            self.expired_sessions += 1
+        return keys
+
+    def session_locks(self, owner: str) -> List[str]:
+        return sorted(self._sessions.get(owner, set()))

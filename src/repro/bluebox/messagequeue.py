@@ -1,0 +1,166 @@
+"""The BlueBox message queue (simulated JMS).
+
+Paper Section 1: "Service instances communicate by placing XML messages
+on a message queue (the Java Message Service) which distributes the
+messages to available nodes."  The queue is the heart of BlueBox — it
+load-balances across service instances, prioritizes, buffers, and
+re-delivers messages when an instance fails (Section 3.2), and it alone
+decides where a fiber runs (Section 4.2: "Vinz executes no control over
+where a fiber will be asked to run, leaving that in the hands of the
+message queue").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+# Priorities: lower value = delivered first.  The paper (Section 5)
+# specifies AwakeFiber requests to be low-priority so that bursts of
+# parent wake-ups do not starve interactive traffic.
+PRIORITY_INTERACTIVE = 2
+PRIORITY_NORMAL = 5
+PRIORITY_LOW = 8
+
+
+@dataclass
+class ReplyTo:
+    """Where a response should go.
+
+    ``callback`` — an external caller's Python function (the test
+    harness, a synchronous ``Run``).  ``service``/``operation`` — route
+    the response back onto the queue as a new message, the mechanism
+    behind non-blocking service requests: "the message queue is
+    instructed to deliver the response not to the sending instance ...
+    but instead to any workflow service instance by means of its
+    ResumeFromCall operation" (Section 3.2).
+    """
+
+    callback: Optional[Callable[[Dict[str, Any]], None]] = None
+    service: Optional[str] = None
+    operation: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+    #: soft placement hint for the response message (locality policy)
+    affinity: Optional[str] = None
+
+
+@dataclass
+class Message:
+    """One message on the queue.
+
+    ``affinity`` is a soft placement hint (a node id): the dispatcher
+    prefers that node when it has a free slot, falling back to normal
+    load balancing otherwise.  This implements the paper's Section 5
+    future-work item of "mov[ing] the processing work to the last
+    location of the data" (the Swarm idea) — a fiber resumed where it
+    last ran hits the node's fiber cache.
+    """
+
+    id: int
+    service: str
+    operation: str
+    body: Dict[str, Any]
+    priority: int = PRIORITY_NORMAL
+    reply_to: Optional[ReplyTo] = None
+    enqueued_at: float = 0.0
+    attempts: int = 0
+    max_attempts: int = 10
+    affinity: Optional[str] = None
+
+    def __repr__(self) -> str:
+        return (f"<Message #{self.id} {self.service}.{self.operation} "
+                f"prio={self.priority} attempts={self.attempts}>")
+
+
+class MessageQueue:
+    """Per-service priority queues plus delivery bookkeeping.
+
+    The queue itself is passive data; the :class:`~repro.bluebox.cluster.
+    Cluster` drives delivery by asking for the next deliverable message
+    whenever an instance slot frees up.
+    """
+
+    def __init__(self):
+        self._queues: Dict[str, List[Tuple[int, int, Message]]] = {}
+        self._seq = itertools.count()
+        self._ids = itertools.count(1)
+        # statistics
+        self.enqueued = 0
+        self.delivered = 0
+        self.redelivered = 0
+        self.dropped = 0
+        self.wait_times: List[float] = []
+
+    def make_message(self, service: str, operation: str, body: Dict[str, Any],
+                     priority: int = PRIORITY_NORMAL,
+                     reply_to: Optional[ReplyTo] = None,
+                     now: float = 0.0,
+                     max_attempts: int = 10,
+                     affinity: Optional[str] = None) -> Message:
+        return Message(id=next(self._ids), service=service,
+                       operation=operation, body=dict(body),
+                       priority=priority, reply_to=reply_to,
+                       enqueued_at=now, max_attempts=max_attempts,
+                       affinity=affinity)
+
+    def peek_message(self, service: str) -> Optional[Message]:
+        """The next message for ``service``, without popping it."""
+        heap = self._queues.get(service)
+        if not heap:
+            return None
+        return heap[0][2]
+
+    def enqueue(self, message: Message, now: float) -> None:
+        message.enqueued_at = now
+        heap = self._queues.setdefault(message.service, [])
+        heapq.heappush(heap, (message.priority, next(self._seq), message))
+        self.enqueued += 1
+
+    def requeue(self, message: Message, now: float) -> bool:
+        """Put a message back after a failed delivery.
+
+        Returns False (and drops the message) once ``max_attempts`` is
+        exhausted — the queue's poison-message guard.
+        """
+        message.attempts += 1
+        if message.attempts >= message.max_attempts:
+            self.dropped += 1
+            return False
+        self.redelivered += 1
+        heap = self._queues.setdefault(message.service, [])
+        heapq.heappush(heap, (message.priority, next(self._seq), message))
+        return True
+
+    def pop_next(self, service: str, now: float) -> Optional[Message]:
+        """Remove and return the highest-priority message for ``service``."""
+        heap = self._queues.get(service)
+        if not heap:
+            return None
+        _prio, _seq, message = heapq.heappop(heap)
+        self.delivered += 1
+        self.wait_times.append(now - message.enqueued_at)
+        return message
+
+    def peek_depth(self, service: str) -> int:
+        return len(self._queues.get(service, []))
+
+    def peek_priority(self, service: str) -> Optional[Tuple[int, int]]:
+        """The (priority, seq) of the next message, without popping."""
+        heap = self._queues.get(service)
+        if not heap:
+            return None
+        priority, seq, _message = heap[0]
+        return (priority, seq)
+
+    def total_depth(self) -> int:
+        return sum(len(h) for h in self._queues.values())
+
+    def services_with_messages(self) -> List[str]:
+        return [s for s, h in self._queues.items() if h]
+
+    def mean_wait(self) -> float:
+        if not self.wait_times:
+            return 0.0
+        return sum(self.wait_times) / len(self.wait_times)

@@ -1,0 +1,115 @@
+"""Monitoring: trace events and metrics.
+
+"The underlying BlueBox platform provides monitoring and management
+features" (paper Section 1).  The trace log is also how we regenerate
+the paper's Figure 1 (sample workflow lifetime): every queue, instance,
+fiber and persistence event is recorded with its virtual timestamp, and
+the Figure-1 bench renders the sequence for one task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+
+@dataclass
+class TraceEvent:
+    """One timestamped event."""
+
+    time: float
+    kind: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        bits = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:10.3f}] {self.kind} {bits}"
+
+
+class TraceLog:
+    """An append-only event log with simple querying."""
+
+    def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
+        self.enabled = enabled
+        self.capacity = capacity
+        self.events: List[TraceEvent] = []
+
+    def record(self, time: float, kind: str, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self.capacity is not None and len(self.events) >= self.capacity:
+            return
+        self.events.append(TraceEvent(time, kind, detail))
+
+    def of_kind(self, *kinds: str) -> List[TraceEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def where(self, predicate: Callable[[TraceEvent], bool]) -> List[TraceEvent]:
+        return [e for e in self.events if predicate(e)]
+
+    def for_task(self, task_id: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.detail.get("task") == task_id]
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def render(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
+        """Human-readable lifetime rendering (the Figure 1 format)."""
+        return "\n".join(repr(e) for e in (events if events is not None
+                                           else self.events))
+
+
+class Counters:
+    """Named monotonically increasing counters and simple gauges."""
+
+    def __init__(self):
+        self.counts: Dict[str, int] = {}
+        self.sums: Dict[str, float] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    def add(self, name: str, amount: float) -> None:
+        self.sums[name] = self.sums.get(name, 0.0) + amount
+
+    def get(self, name: str) -> int:
+        return self.counts.get(name, 0)
+
+    def get_sum(self, name: str) -> float:
+        return self.sums.get(name, 0.0)
+
+    def mean(self, sum_name: str, count_name: str) -> float:
+        n = self.counts.get(count_name, 0)
+        return self.sums.get(sum_name, 0.0) / n if n else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counts": dict(self.counts), "sums": dict(self.sums)}
+
+
+class ConcurrencySampler:
+    """Tracks a time-weighted concurrency profile.
+
+    Used by the production-day bench (S5a) to report how many tasks and
+    fibers were simultaneously in flight.
+    """
+
+    def __init__(self):
+        self._level = 0
+        self._last_time = 0.0
+        self._area = 0.0
+        self.peak = 0
+
+    def change(self, now: float, delta: int) -> None:
+        self._area += self._level * (now - self._last_time)
+        self._last_time = now
+        self._level += delta
+        self.peak = max(self.peak, self._level)
+
+    @property
+    def level(self) -> int:
+        return self._level
+
+    def mean_until(self, now: float) -> float:
+        area = self._area + self._level * (now - self._last_time)
+        return area / now if now > 0 else 0.0

@@ -1,0 +1,139 @@
+"""WSDL documents: how BlueBox services describe themselves.
+
+"Each service describes the operations it offers with an XML document
+called a WSDL" (paper Section 1).  Vinz's ``deflink`` macro (Section
+3.3) fetches a service's WSDL, parses it, and generates one Gozer
+function per operation — including error stubs for operations it cannot
+bridge.  This module provides the document model both sides share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .xmlmsg import XmlElement, qname
+
+
+@dataclass
+class WsdlParameter:
+    """One input parameter of an operation."""
+
+    name: str
+    type: str = "string"  # string | number | boolean | list | map | any
+    doc: str = ""
+    required: bool = False
+
+
+@dataclass
+class WsdlOperation:
+    """One operation a service publishes.
+
+    ``soap_action`` is the routing key used on the wire (Listing 2's
+    ``:soap-action "...:ListSessions"``).  ``faults`` lists the error
+    QNames the operation may return — ``deflink`` arranges for these to
+    be signalled as Gozer conditions.  ``bridgeable`` models the paper's
+    "if for some reason an operation cannot be interacted with from a
+    Gozer function": when false, deflink generates a stub that raises a
+    *compile-time* error if used.
+    """
+
+    name: str
+    doc: str = ""
+    parameters: List[WsdlParameter] = field(default_factory=list)
+    output: str = "any"
+    faults: List[str] = field(default_factory=list)
+    soap_action: str = ""
+    bridgeable: bool = True
+
+    def parameter_names(self) -> List[str]:
+        return [p.name for p in self.parameters]
+
+
+@dataclass
+class WsdlDocument:
+    """A service interface: namespace, port and operations."""
+
+    service: str
+    namespace: str
+    port: str = "Main"
+    doc: str = ""
+    operations: Dict[str, WsdlOperation] = field(default_factory=dict)
+
+    def add_operation(self, operation: WsdlOperation) -> WsdlOperation:
+        if not operation.soap_action:
+            operation.soap_action = f"{self.namespace}:{operation.name}"
+        self.operations[operation.name] = operation
+        return operation
+
+    def fault_qname(self, local: str) -> str:
+        return qname(self.namespace, local)
+
+    # -- XML round trip ------------------------------------------------
+
+    def to_element(self) -> XmlElement:
+        root = XmlElement("definitions", {
+            "service": self.service,
+            "targetNamespace": self.namespace,
+            "port": self.port,
+        })
+        if self.doc:
+            root.append(XmlElement("documentation", text=self.doc))
+        for op in self.operations.values():
+            op_el = root.append(XmlElement("operation", {
+                "name": op.name,
+                "soapAction": op.soap_action,
+                "output": op.output,
+                "bridgeable": "true" if op.bridgeable else "false",
+            }))
+            if op.doc:
+                op_el.append(XmlElement("documentation", text=op.doc))
+            for param in op.parameters:
+                op_el.append(XmlElement("part", {
+                    "name": param.name,
+                    "type": param.type,
+                    "required": "true" if param.required else "false",
+                }, text=param.doc or None))
+            for fault in op.faults:
+                op_el.append(XmlElement("fault", {"name": fault}))
+        return root
+
+    def to_xml(self) -> str:
+        return self.to_element().to_xml()
+
+    @classmethod
+    def from_element(cls, root: XmlElement) -> "WsdlDocument":
+        doc_el = root.child("documentation")
+        wsdl = cls(
+            service=root.attrs["service"],
+            namespace=root.attrs["targetNamespace"],
+            port=root.attrs.get("port", "Main"),
+            doc=doc_el.text or "" if doc_el is not None else "",
+        )
+        for op_el in root.children:
+            if op_el.tag != "operation":
+                continue
+            op_doc = op_el.child("documentation")
+            operation = WsdlOperation(
+                name=op_el.attrs["name"],
+                soap_action=op_el.attrs.get("soapAction", ""),
+                output=op_el.attrs.get("output", "any"),
+                bridgeable=op_el.attrs.get("bridgeable", "true") == "true",
+                doc=op_doc.text or "" if op_doc is not None else "",
+            )
+            for child in op_el.children:
+                if child.tag == "part":
+                    operation.parameters.append(WsdlParameter(
+                        name=child.attrs["name"],
+                        type=child.attrs.get("type", "string"),
+                        required=child.attrs.get("required") == "true",
+                        doc=child.text or "",
+                    ))
+                elif child.tag == "fault":
+                    operation.faults.append(child.attrs["name"])
+            wsdl.operations[operation.name] = operation
+        return wsdl
+
+    @classmethod
+    def from_xml(cls, text: str) -> "WsdlDocument":
+        return cls.from_element(XmlElement.from_xml(text))

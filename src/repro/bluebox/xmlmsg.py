@@ -1,0 +1,211 @@
+"""XML messages — the lingua franca of BlueBox services.
+
+"Service instances communicate by placing XML messages on a message
+queue" (paper Section 1).  We model a message body as an ordered tree
+(:class:`XmlElement`) with conversion to and from real XML text and to
+and from Gozer data structures ("the function is capable of coping with
+complex XML trees by using corresponding Gozer data structures",
+Section 3.3).
+
+QNames use the James Clark notation the paper's Listing 6 shows:
+``{urn:service}Connect``.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..lang.symbols import Keyword, Symbol
+
+
+def qname(namespace: str, local: str) -> str:
+    """Build a ``{namespace}local`` QName string."""
+    return f"{{{namespace}}}{local}" if namespace else local
+
+
+def parse_qname(name: str) -> Tuple[Optional[str], str]:
+    """Split a QName into (namespace, local-name)."""
+    if name.startswith("{"):
+        ns, _, local = name[1:].partition("}")
+        return ns, local
+    return None, name
+
+
+class XmlElement:
+    """A lightweight XML element: tag, attributes, children or text."""
+
+    __slots__ = ("tag", "attrs", "children", "text")
+
+    def __init__(self, tag: str, attrs: Optional[Dict[str, str]] = None,
+                 children: Optional[List["XmlElement"]] = None,
+                 text: Optional[str] = None):
+        self.tag = tag
+        self.attrs = attrs or {}
+        self.children = children or []
+        self.text = text
+
+    def child(self, tag: str) -> Optional["XmlElement"]:
+        for c in self.children:
+            if c.tag == tag or parse_qname(c.tag)[1] == tag:
+                return c
+        return None
+
+    def append(self, element: "XmlElement") -> "XmlElement":
+        self.children.append(element)
+        return element
+
+    def to_xml(self) -> str:
+        return ET.tostring(self._to_et(), encoding="unicode")
+
+    def _to_et(self) -> ET.Element:
+        el = ET.Element(self.tag, dict(self.attrs))
+        if self.text is not None:
+            el.text = self.text
+        for child in self.children:
+            el.append(child._to_et())
+        return el
+
+    @classmethod
+    def from_xml(cls, text: str) -> "XmlElement":
+        return cls._from_et(ET.fromstring(text))
+
+    @classmethod
+    def _from_et(cls, el: ET.Element) -> "XmlElement":
+        return cls(el.tag, dict(el.attrib),
+                   [cls._from_et(c) for c in el],
+                   el.text if el.text and el.text.strip() else None)
+
+    def __repr__(self) -> str:
+        return f"<XmlElement {self.tag} attrs={len(self.attrs)} children={len(self.children)}>"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, XmlElement) and self.tag == other.tag
+                and self.attrs == other.attrs and self.text == other.text
+                and self.children == other.children)
+
+
+# ---------------------------------------------------------------------------
+# Gozer data <-> XML trees
+# ---------------------------------------------------------------------------
+
+def value_to_element(tag: str, value: Any) -> XmlElement:
+    """Encode a Gozer value as an XML element tree.
+
+    Scalars become text; dicts become child elements keyed by name;
+    lists become repeated ``<item>`` children.  This is the encoding
+    ``deflink``-generated stubs use for complex parameters.
+    """
+    el = XmlElement(tag)
+    if value is None:
+        el.attrs["nil"] = "true"
+    elif isinstance(value, bool):
+        el.text = "true" if value else "false"
+        el.attrs["type"] = "boolean"
+    elif isinstance(value, (int, float)):
+        el.text = repr(value)
+        el.attrs["type"] = "number"
+    elif isinstance(value, str):
+        el.attrs["type"] = "string"
+        # \r must also be escaped (XML parsers normalize it to \n), and
+        # whitespace-only strings too (the element model treats
+        # whitespace-only text as absent)
+        if value.strip() == "" or any(ord(c) < 0x20 and c not in "\t\n"
+                                      for c in value):
+            # XML 1.0 cannot carry most control characters as text;
+            # escape such strings (and distinguish "" from absent text)
+            el.attrs["enc"] = "escaped"
+            el.text = value.encode("unicode_escape").decode("ascii")
+        else:
+            el.text = value
+    elif isinstance(value, (Symbol, Keyword)):
+        el.text = value.name
+        el.attrs["type"] = "symbol" if isinstance(value, Symbol) else "keyword"
+    elif isinstance(value, dict):
+        el.attrs["type"] = "map"
+        for k, v in value.items():
+            el.append(value_to_element(_map_key(k), v))
+    elif isinstance(value, (list, tuple)):
+        el.attrs["type"] = "list"
+        for item in value:
+            el.append(value_to_element("item", item))
+    else:
+        el.text = str(value)
+    return el
+
+
+def element_to_value(el: XmlElement) -> Any:
+    """Decode :func:`value_to_element` output back into Gozer data."""
+    if el.attrs.get("nil") == "true":
+        return None
+    kind = el.attrs.get("type")
+    if kind == "string":
+        text = el.text or ""
+        if el.attrs.get("enc") == "escaped":
+            return text.encode("ascii").decode("unicode_escape")
+        return text
+    if kind == "boolean":
+        return el.text == "true"
+    if kind == "number":
+        text = el.text or "0"
+        return float(text) if ("." in text or "e" in text or "inf" in text) else int(text)
+    if kind == "symbol":
+        return Symbol(el.text or "")
+    if kind == "keyword":
+        return Keyword(el.text or "")
+    if kind == "map":
+        return {parse_qname(c.tag)[1]: element_to_value(c) for c in el.children}
+    if kind == "list":
+        return [element_to_value(c) for c in el.children]
+    return el.text
+
+
+def _map_key(key: Any) -> str:
+    if isinstance(key, (Symbol, Keyword)):
+        return key.name
+    return str(key)
+
+
+class ServiceMessage:
+    """A service request/response body (paper Listing 2's ``msg``).
+
+    Behaves like a name -> value map with Groovy-flavoured ``set``/
+    ``get`` methods, since workflow code manipulates it through host
+    interop: ``(. msg (set "FilterParams" FilterParams))``.
+    """
+
+    def __init__(self, operation: str, values: Optional[Dict[str, Any]] = None):
+        self.operation = operation
+        self.values: Dict[str, Any] = dict(values or {})
+
+    def set(self, name: str, value: Any) -> None:
+        self.values[name] = value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self.values.get(name, default)
+
+    def to_element(self) -> XmlElement:
+        root = XmlElement(self.operation)
+        for name, value in self.values.items():
+            root.append(value_to_element(name, value))
+        return root
+
+    def to_xml(self) -> str:
+        return self.to_element().to_xml()
+
+    @classmethod
+    def from_element(cls, el: XmlElement) -> "ServiceMessage":
+        values = {parse_qname(c.tag)[1]: element_to_value(c) for c in el.children}
+        return cls(parse_qname(el.tag)[1], values)
+
+    @classmethod
+    def from_xml(cls, text: str) -> "ServiceMessage":
+        return cls.from_element(XmlElement.from_xml(text))
+
+    def __repr__(self) -> str:
+        return f"<ServiceMessage {self.operation} {self.values!r}>"
+
+    def __eq__(self, other) -> bool:
+        return (isinstance(other, ServiceMessage)
+                and self.operation == other.operation
+                and self.values == other.values)

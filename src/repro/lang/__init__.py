@@ -1,0 +1,23 @@
+"""The Gozer language front end: reader, macros, compiler, stdlib."""
+
+from .reader import Char, ReadTable, Reader, read_all, read_string
+from .printer import princ_form, print_form
+from .symbols import Keyword, Symbol, gensym
+from .compiler import Compiler
+from .bytecode import CodeObject, ParamSpec
+from .errors import (
+    CompileError,
+    GozerError,
+    GozerRuntimeError,
+    IncompleteFormError,
+    ReaderError,
+    UnboundVariableError,
+)
+
+__all__ = [
+    "Char", "ReadTable", "Reader", "read_all", "read_string",
+    "princ_form", "print_form", "Keyword", "Symbol", "gensym",
+    "Compiler", "CodeObject", "ParamSpec",
+    "CompileError", "GozerError", "GozerRuntimeError",
+    "IncompleteFormError", "ReaderError", "UnboundVariableError",
+]

@@ -1,0 +1,85 @@
+"""Error hierarchy for the Gozer language front end and runtime.
+
+The Gozer paper (Section 3.7) distinguishes ordinary host-platform
+exceptions from *conditions* signalled through the Common-Lisp-style
+condition system.  On the host side (this Python implementation) we keep
+a small exception hierarchy so that tooling can tell reader errors from
+compiler errors from runtime errors.
+"""
+
+from __future__ import annotations
+
+
+class GozerError(Exception):
+    """Base class of every error raised by the Gozer implementation."""
+
+
+class ReaderError(GozerError):
+    """A syntax error encountered while reading source text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending
+    character when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class IncompleteFormError(ReaderError):
+    """Raised when input ends in the middle of a form.
+
+    Interactive front ends (the REPL of ``examples/repl.py``) use this to
+    decide whether to prompt for a continuation line rather than report
+    a hard syntax error.
+    """
+
+
+class CompileError(GozerError):
+    """A semantic error found while compiling a form to bytecode."""
+
+    def __init__(self, message: str, form: object | None = None):
+        self.form = form
+        super().__init__(message)
+
+
+class GozerRuntimeError(GozerError):
+    """An error raised while executing Gozer code on the GVM."""
+
+
+class UnboundVariableError(GozerRuntimeError):
+    """A reference to a variable with no lexical or global binding."""
+
+    def __init__(self, name: object):
+        self.name = name
+        super().__init__(f"unbound variable: {name}")
+
+
+class UndefinedFunctionError(GozerRuntimeError):
+    """A call to a function name with no definition."""
+
+    def __init__(self, name: object):
+        self.name = name
+        super().__init__(f"undefined function: {name}")
+
+
+class WrongArgumentCount(GozerRuntimeError):
+    """A function was called with an incompatible number of arguments."""
+
+    def __init__(self, fname: object, expected: str, got: int):
+        self.fname = fname
+        self.expected = expected
+        self.got = got
+        super().__init__(f"{fname}: expected {expected} arguments, got {got}")
+
+
+class ControlFlowSignal(BaseException):
+    """Base for internal non-local control transfers inside the GVM.
+
+    These deliberately derive from ``BaseException`` so that ordinary
+    Gozer ``handler-bind`` logic (which maps onto ``Exception``) cannot
+    accidentally swallow VM control flow.
+    """

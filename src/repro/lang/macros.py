@@ -1,0 +1,552 @@
+"""Core macros and macro expansion.
+
+Gozer's primary influence is Common Lisp (paper Section 1); the macros
+here are the host-implemented core set (``when``, ``cond``, ``dolist``,
+``incf`` ...) that user macros written with ``defmacro`` build on.  The
+expansion driver is shared with the compiler: the compiler asks
+:func:`macroexpand_1` repeatedly until the head of a form is no longer
+a macro.
+
+Host-implemented macros are plain Python callables taking the *argument
+forms* (not including the macro name) and returning a replacement form.
+User macros are :class:`~repro.gvm.frames.GozerMacro` objects whose
+expander is a compiled Gozer function; running those requires a runtime,
+which the caller supplies via ``apply_fn``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .errors import CompileError
+from .symbols import (
+    S_QUASIQUOTE,
+    S_QUOTE,
+    S_UNQUOTE,
+    S_UNQUOTE_SPLICING,
+    Symbol,
+    gensym,
+)
+
+_S = Symbol
+
+#: host macro table: name -> callable(arg_forms) -> form
+CORE_MACROS: Dict[Symbol, Callable[[List[Any]], Any]] = {}
+
+
+def core_macro(name: str):
+    def register(fn):
+        CORE_MACROS[_S(name)] = fn
+        return fn
+
+    return register
+
+
+def is_listform(form: Any) -> bool:
+    return isinstance(form, list) and len(form) > 0
+
+
+def macroexpand_1(form: Any, global_env, apply_fn: Optional[Callable] = None):
+    """Expand ``form`` one step.  Returns (expansion, expanded?)."""
+    if not is_listform(form) or not isinstance(form[0], Symbol):
+        return form, False
+    head = form[0]
+    user = global_env.get_macro(head) if global_env is not None else None
+    if user is not None:
+        if apply_fn is None:
+            raise CompileError(f"macro {head} requires a runtime to expand", form)
+        return apply_fn(user.function, form[1:]), True
+    host = CORE_MACROS.get(head)
+    if host is not None:
+        return host(form[1:]), True
+    return form, False
+
+
+def macroexpand(form: Any, global_env, apply_fn: Optional[Callable] = None):
+    """Expand the head of ``form`` until it is not a macro call."""
+    while True:
+        form, expanded = macroexpand_1(form, global_env, apply_fn)
+        if not expanded:
+            return form
+
+
+# ---------------------------------------------------------------------------
+# Quasiquote expansion (used by the compiler and by user macros)
+# ---------------------------------------------------------------------------
+
+def expand_quasiquote(template: Any) -> Any:
+    """Rewrite a quasiquote template into list-building code."""
+    if is_listform(template):
+        head = template[0]
+        if head is S_UNQUOTE:
+            return template[1]
+        if head is S_UNQUOTE_SPLICING:
+            raise CompileError("unquote-splicing outside of a list", template)
+        parts: List[Any] = []
+        for item in template:
+            if is_listform(item) and item[0] is S_UNQUOTE_SPLICING:
+                parts.append(item[1])
+            else:
+                parts.append([_S("list"), expand_quasiquote(item)])
+        if len(parts) == 1:
+            inner = parts[0]
+            if is_listform(inner) and inner[0] is _S("list"):
+                return inner
+        return [_S("append"), *parts]
+    if isinstance(template, Symbol):
+        return [S_QUOTE, template]
+    return template
+
+
+@core_macro("quasiquote")
+def _m_quasiquote(args):
+    if len(args) != 1:
+        raise CompileError("quasiquote takes one template")
+    return expand_quasiquote(args[0])
+
+
+# ---------------------------------------------------------------------------
+# Conditionals and sequencing
+# ---------------------------------------------------------------------------
+
+@core_macro("when")
+def _m_when(args):
+    if not args:
+        raise CompileError("when needs a test")
+    test, *body = args
+    return [_S("if"), test, [_S("progn"), *body], None]
+
+
+@core_macro("unless")
+def _m_unless(args):
+    if not args:
+        raise CompileError("unless needs a test")
+    test, *body = args
+    return [_S("if"), test, None, [_S("progn"), *body]]
+
+
+@core_macro("cond")
+def _m_cond(args):
+    if not args:
+        return None
+    clause, *rest = args
+    if not is_listform(clause):
+        raise CompileError("cond clause must be a list", clause)
+    test, *body = clause
+    if test is True or test is _S("otherwise"):
+        return [_S("progn"), *body] if body else True
+    if not body:
+        # (cond (x) ...) returns x when truthy
+        tmp = gensym("cond")
+        return [
+            _S("let"), [[tmp, test]],
+            [_S("if"), tmp, tmp, [_S("cond"), *rest]],
+        ]
+    return [_S("if"), test, [_S("progn"), *body], [_S("cond"), *rest]]
+
+
+@core_macro("case")
+def _m_case(args):
+    if not args:
+        raise CompileError("case needs a key form")
+    keyform, *clauses = args
+    key = gensym("case")
+    expansion: Any = None
+    for clause in reversed(clauses):
+        if not is_listform(clause):
+            raise CompileError("case clause must be a list", clause)
+        heads, *body = clause
+        if heads is _S("otherwise") or heads is True:
+            expansion = [_S("progn"), *body]
+            continue
+        if not isinstance(heads, list):
+            heads = [heads]
+        test = [_S("or"), *[[_S("eql"), key, [S_QUOTE, h]] for h in heads]]
+        expansion = [_S("if"), test, [_S("progn"), *body], expansion]
+    return [_S("let"), [[key, keyform]], expansion]
+
+
+@core_macro("prog1")
+def _m_prog1(args):
+    if not args:
+        raise CompileError("prog1 needs at least one form")
+    first, *rest = args
+    tmp = gensym("prog1")
+    return [_S("let"), [[tmp, first]], *rest, tmp]
+
+
+@core_macro("prog2")
+def _m_prog2(args):
+    if len(args) < 2:
+        raise CompileError("prog2 needs at least two forms")
+    first, second, *rest = args
+    return [_S("progn"), first, [_S("prog1"), second, *rest]]
+
+
+# ---------------------------------------------------------------------------
+# Iteration
+# ---------------------------------------------------------------------------
+
+@core_macro("dolist")
+def _m_dolist(args):
+    if not args or not is_listform(args[0]):
+        raise CompileError("dolist needs (var list [result])")
+    spec, *body = args
+    var = spec[0]
+    listform = spec[1]
+    result = spec[2] if len(spec) > 2 else None
+    rest = gensym("dolist")
+    return [
+        _S("let"), [[rest, listform]],
+        [_S("while"), [_S("consp"), rest],
+         [_S("let"), [[var, [_S("car"), rest]]],
+          *body,
+          [_S("setq"), rest, [_S("cdr"), rest]]]],
+        result,
+    ]
+
+
+@core_macro("dotimes")
+def _m_dotimes(args):
+    if not args or not is_listform(args[0]):
+        raise CompileError("dotimes needs (var count [result])")
+    spec, *body = args
+    var = spec[0]
+    count = spec[1]
+    result = spec[2] if len(spec) > 2 else None
+    limit = gensym("dotimes")
+    return [
+        _S("let"), [[limit, count], [var, 0]],
+        [_S("while"), [_S("<"), var, limit],
+         *body,
+         [_S("setq"), var, [_S("+"), var, 1]]],
+        result,
+    ]
+
+
+@core_macro("loop")
+def _m_loop(args):
+    """A practical subset of Common Lisp's LOOP.
+
+    Supported shapes (those the paper's listings and typical workflows
+    use)::
+
+        (loop for x in xs collect expr)
+        (loop for x in xs do forms...)
+        (loop for x in xs when test collect expr)
+        (loop for x in xs unless test collect expr)
+        (loop for i from a to b [by s] collect/do/sum ...)
+        (loop repeat n collect/do ...)
+        (loop while test do forms...)
+        (loop for x in xs sum/count/append expr)
+
+    An unadorned ``(loop forms...)`` loops forever (use ``return``).
+    """
+    if not args:
+        raise CompileError("empty loop")
+    if not isinstance(args[0], Symbol) or args[0].name not in (
+        "for", "repeat", "while", "until"
+    ):
+        # infinite loop with a body
+        return [_S("block"), None, [_S("while"), True, *args]]
+    return _expand_loop_clauses(list(args))
+
+
+def _expand_loop_clauses(words: List[Any]) -> Any:
+    def take() -> Any:
+        if not words:
+            raise CompileError("loop: unexpected end of clauses")
+        return words.pop(0)
+
+    def peek_name() -> Optional[str]:
+        if words and isinstance(words[0], Symbol):
+            return words[0].name
+        return None
+
+    var = None
+    init_bindings: List[Any] = []
+    step_forms: List[Any] = []
+    test: Any = True
+    kind = take().name  # for / repeat / while / until
+
+    if kind == "for":
+        var = take()
+        mode = take()
+        if not isinstance(mode, Symbol):
+            raise CompileError("loop: expected in/from/across after variable")
+        if mode.name in ("in", "across", "on"):
+            seq = take()
+            rest = gensym("loop-rest")
+            init_bindings.append([rest, [_S("to-list"), seq]])
+            init_bindings.append([var, None])
+            # note: the empty list is *truthy* in Gozer (Clojure rule),
+            # so the loop test must be an explicit consp check.
+            test = [_S("consp"), rest]
+            pre_body = [
+                [_S("setq"), var,
+                 rest if mode.name == "on" else [_S("car"), rest]],
+                [_S("setq"), rest, [_S("cdr"), rest]],
+            ]
+        elif mode.name == "from":
+            start = take()
+            stop = None
+            step: Any = 1
+            direction = "to"
+            while peek_name() in ("to", "below", "downto", "by", "upto"):
+                word = take().name
+                if word in ("to", "upto", "below", "downto"):
+                    direction = "below" if word == "below" else (
+                        "downto" if word == "downto" else "to")
+                    stop = take()
+                elif word == "by":
+                    step = take()
+            init_bindings.append([var, start])
+            if stop is None:
+                test = True
+            elif direction == "to":
+                test = [_S("<="), var, stop]
+            elif direction == "below":
+                test = [_S("<"), var, stop]
+            else:
+                test = [_S(">="), var, stop]
+            if direction == "downto":
+                step_forms.append([_S("setq"), var, [_S("-"), var, step]])
+            else:
+                step_forms.append([_S("setq"), var, [_S("+"), var, step]])
+            pre_body = []
+        else:
+            raise CompileError(f"loop: unsupported iteration mode {mode}")
+    elif kind == "repeat":
+        count = take()
+        counter = gensym("loop-n")
+        init_bindings.append([counter, count])
+        test = [_S(">"), counter, 0]
+        step_forms.append([_S("setq"), counter, [_S("-"), counter, 1]])
+        pre_body = []
+    elif kind in ("while", "until"):
+        cond = take()
+        test = cond if kind == "while" else [_S("not"), cond]
+        pre_body = []
+    else:  # pragma: no cover
+        raise CompileError(f"loop: unknown clause {kind}")
+
+    # condition guard: when/unless
+    guard = None
+    guard_positive = True
+    if peek_name() in ("when", "unless"):
+        guard_positive = take().name == "when"
+        guard = take()
+
+    # accumulation / body
+    acc = gensym("loop-acc")
+    action = peek_name()
+    body_forms: List[Any]
+    result_form: Any = None
+    init_acc: Any = None
+    if action in ("collect", "collecting", "append", "appending",
+                  "sum", "summing", "count", "counting", "maximize", "minimize"):
+        take()
+        expr = take()
+        if action.startswith("collect"):
+            init_acc = [_S("list")]
+            body_forms = [[_S("append!"), acc, expr]]
+            result_form = acc
+        elif action.startswith("append"):
+            init_acc = [_S("list")]
+            body_forms = [[_S("setq"), acc, [_S("append"), acc, expr]]]
+            result_form = acc
+        elif action.startswith("sum"):
+            init_acc = 0
+            body_forms = [[_S("setq"), acc, [_S("+"), acc, expr]]]
+            result_form = acc
+        elif action.startswith("count"):
+            init_acc = 0
+            body_forms = [[_S("when"), expr, [_S("setq"), acc, [_S("+"), acc, 1]]]]
+            result_form = acc
+        elif action == "maximize":
+            init_acc = None
+            body_forms = [[_S("setq"), acc,
+                           [_S("if"), [_S("null"), acc], expr,
+                            [_S("max"), acc, expr]]]]
+            result_form = acc
+        else:  # minimize
+            init_acc = None
+            body_forms = [[_S("setq"), acc,
+                           [_S("if"), [_S("null"), acc], expr,
+                            [_S("min"), acc, expr]]]]
+            result_form = acc
+    elif action in ("do", "doing"):
+        take()
+        body_forms = list(words)
+        words.clear()
+    else:
+        body_forms = list(words)
+        words.clear()
+
+    if words:
+        raise CompileError(f"loop: trailing clauses not understood: {words}")
+
+    inner = body_forms
+    if guard is not None:
+        wrapper = _S("when") if guard_positive else _S("unless")
+        inner = [[wrapper, guard, *body_forms]]
+
+    loop_body = [*pre_body, *inner, *step_forms]
+    bindings = list(init_bindings)
+    if result_form is not None:
+        bindings.append([acc, init_acc])
+    return [
+        _S("block"), None,
+        [_S("let*"), bindings,
+         [_S("while"), test, *loop_body],
+         result_form],
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Place modification sugar
+# ---------------------------------------------------------------------------
+
+@core_macro("incf")
+def _m_incf(args):
+    place = args[0]
+    delta = args[1] if len(args) > 1 else 1
+    return [_S("setf"), place, [_S("+"), place, delta]]
+
+
+@core_macro("decf")
+def _m_decf(args):
+    place = args[0]
+    delta = args[1] if len(args) > 1 else 1
+    return [_S("setf"), place, [_S("-"), place, delta]]
+
+
+@core_macro("push")
+def _m_push(args):
+    if len(args) != 2:
+        raise CompileError("push needs (push value place)")
+    value, place = args
+    return [_S("setf"), place, [_S("cons"), value, place]]
+
+
+# ---------------------------------------------------------------------------
+# Error handling sugar (Section 3.7 builds on these)
+# ---------------------------------------------------------------------------
+
+@core_macro("ignore-errors")
+def _m_ignore_errors(args):
+    return [_S("handler-case"), [_S("progn"), *args],
+            [_S("error"), [gensym("c")], None]]
+
+
+@core_macro("handler-case")
+def _m_handler_case(args):
+    """(handler-case form (typespec (var) body...)...)
+
+    Unlike ``handler-bind``, a matching clause *unwinds* to the
+    handler-case and evaluates its body.
+    """
+    if not args:
+        raise CompileError("handler-case needs a protected form")
+    protected, *clauses = args
+    blk = gensym("hc")
+    bindings = []
+    for clause in clauses:
+        if not is_listform(clause) or len(clause) < 2:
+            raise CompileError("handler-case clause must be (typespec (var) body...)", clause)
+        typespec, varlist, *body = clause
+        var = varlist[0] if is_listform(varlist) else gensym("c")
+        handler = [
+            _S("lambda"), [var],
+            [_S("return-from"), blk, [_S("progn"), *body]],
+        ]
+        bindings.append([typespec, handler])
+    return [_S("block"), blk,
+            [_S("handler-bind"), bindings, protected]]
+
+
+@core_macro("destructuring-bind")
+def _m_destructuring_bind(args):
+    """(destructuring-bind (a (b c) &rest r) expr body...)
+
+    Nested positional destructuring with &optional and &rest, the
+    pattern-matching workhorse for plist/alist-heavy workflow code.
+    """
+    if len(args) < 2:
+        raise CompileError("destructuring-bind needs (pattern expr body...)")
+    pattern, expr, *body = args
+    source = gensym("db")
+    bindings: list = [[source, [_S("to-list"), expr]]]
+
+    def destructure(pat, source_sym):
+        mode = "required"
+        index = 0
+        for item in pat:
+            if isinstance(item, Symbol) and item.name == "&optional":
+                mode = "optional"
+                continue
+            if isinstance(item, Symbol) and item.name == "&rest":
+                mode = "rest"
+                continue
+            if mode == "rest":
+                if not isinstance(item, Symbol):
+                    raise CompileError("&rest needs a symbol", pat)
+                bindings.append([item, [_S("nthcdr"), index, source_sym]])
+                continue
+            accessor = [_S("nth"), index, source_sym]
+            if isinstance(item, Symbol):
+                bindings.append([item, accessor])
+            elif is_listform(item) and mode == "optional" and \
+                    isinstance(item[0], Symbol) and len(item) == 2:
+                # (name default)
+                bindings.append([item[0],
+                                 [_S("if"), [_S("<"), index,
+                                             [_S("length"), source_sym]],
+                                  accessor, item[1]]])
+            elif is_listform(item):
+                inner = gensym("db")
+                bindings.append([inner, [_S("to-list"), accessor]])
+                destructure(item, inner)
+            else:
+                raise CompileError(f"bad destructuring element {item!r}", pat)
+            index += 1
+
+    destructure(list(pattern), source)
+    return [_S("let*"), bindings, *body]
+
+
+@core_macro("rotatef")
+def _m_rotatef(args):
+    """(rotatef a b [c...]) — rotate the values of places left."""
+    if len(args) < 2:
+        raise CompileError("rotatef needs at least two places")
+    temps = [gensym("rot") for _ in args]
+    bindings = [[t, place] for t, place in zip(temps, args)]
+    rotated = temps[1:] + temps[:1]
+    sets = []
+    for place, t in zip(args, rotated):
+        sets.append([_S("setf"), place, t])
+    return [_S("let*"), bindings, *sets, None]
+
+
+@core_macro("assert")
+def _m_assert(args):
+    """(assert test [format args...]) — signal an error when test is
+    false, with a continue restart (CL flavour)."""
+    if not args:
+        raise CompileError("assert needs a test")
+    test, *message = args
+    msg_form = message[0] if message else f"assertion failed"
+    msg_args = message[1:] if len(message) > 1 else []
+    return [_S("unless"), test,
+            [_S("restart-case"),
+             [_S("error"), msg_form, *msg_args],
+             [_S("continue"), [], None]]]
+
+
+@core_macro("with-simple-restart")
+def _m_with_simple_restart(args):
+    if not args or not is_listform(args[0]):
+        raise CompileError("with-simple-restart needs (name format) body")
+    (name, *_fmt), *body = args
+    return [_S("restart-case"), [_S("progn"), *body], [name, [], None]]

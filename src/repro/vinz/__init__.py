@@ -1,0 +1,34 @@
+"""Vinz: Gozer's distribution module (tasks, fibers, workflow services)."""
+
+from .api import VinzEnvironment, WorkflowError
+from .service import FiberExecution, WorkflowService
+from .task import (
+    COMPLETED,
+    ERROR,
+    FiberRecord,
+    PENDING,
+    ProcessRegistry,
+    RUNNING,
+    TERMINATED,
+    TaskRecord,
+)
+from .persistence import (
+    CodeRegistry,
+    FiberCodec,
+    HostFunctionRegistry,
+    blob_codec_name,
+    compare_codecs,
+)
+from .cache import FiberCache, LruCache
+from .distribution import VinzBreak, VinzTerminateTask
+from .handlers import HandlerDefinition
+
+__all__ = [
+    "VinzEnvironment", "WorkflowError", "FiberExecution", "WorkflowService",
+    "COMPLETED", "ERROR", "FiberRecord", "PENDING", "ProcessRegistry",
+    "RUNNING", "TERMINATED", "TaskRecord",
+    "CodeRegistry", "FiberCodec", "HostFunctionRegistry",
+    "blob_codec_name", "compare_codecs",
+    "FiberCache", "LruCache", "VinzBreak", "VinzTerminateTask",
+    "HandlerDefinition",
+]

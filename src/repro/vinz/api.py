@@ -1,0 +1,351 @@
+"""The high-level Vinz API: one object wiring everything together.
+
+:class:`VinzEnvironment` owns the simulated cluster, the shared store,
+the distributed lock manager and the process registry, and provides the
+operations a platform operator (or a test) performs: deploy a workflow,
+start/run/call it, terminate it, wait for completion, inspect metrics.
+
+Typical use::
+
+    from repro.vinz.api import VinzEnvironment
+
+    vinz = VinzEnvironment(nodes=4)
+    vinz.deploy_workflow("SumSquares", WORKFLOW_SOURCE)
+    result = vinz.call("SumSquares", [1, 2, 3, 4])   # -> 30
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from ..bluebox.cluster import Cluster
+from ..bluebox.locks import (
+    CoordinatorLockManager,
+    FileLockManager,
+    LockManager,
+)
+from ..bluebox.monitoring import ConcurrencySampler, Counters
+from ..bluebox.store import SharedStore
+from ..gvm.futures import FutureExecutor, SynchronousFutureExecutor
+from .service import WorkflowService
+from .task import COMPLETED, ProcessRegistry, TaskRecord
+
+
+class WorkflowError(RuntimeError):
+    """A synchronous Call failed (the task errored or was terminated)."""
+
+    def __init__(self, qname: str, message: str):
+        super().__init__(f"{qname}: {message}")
+        self.qname = qname
+        self.fault_message = message
+
+
+class VinzEnvironment:
+    """The Vinz platform: cluster + store + locks + tracking.
+
+    ``locks`` selects the distributed lock backend: ``"coordinator"``
+    (the ZooKeeper-like replacement the paper is building) or ``"file"``
+    (the original NFS file locks, optionally with their visibility
+    quirk via ``lock_quirk_delay``).
+    """
+
+    def __init__(self, nodes: int = 4, slots: int = 1, seed: int = 0,
+                 cluster: Optional[Cluster] = None,
+                 store: Optional[SharedStore] = None,
+                 locks: str = "coordinator",
+                 lock_quirk_delay: float = 0.0,
+                 taskvar_lock_overhead: float = 0.002,
+                 trace: bool = True,
+                 placement: str = "balanced",
+                 future_executor_factory: Optional[Callable[[], FutureExecutor]] = None):
+        self.cluster = cluster if cluster is not None else \
+            Cluster(seed=seed, trace=trace)
+        if not self.cluster.nodes:
+            self.cluster.add_nodes(nodes, slots=slots)
+        self.store = store if store is not None else SharedStore()
+        self.locks: LockManager
+        if locks == "coordinator":
+            self.locks = CoordinatorLockManager()
+        elif locks == "file":
+            self.locks = FileLockManager(
+                self.store, clock_now=lambda: self.cluster.kernel.now,
+                release_visibility_delay=lock_quirk_delay)
+        else:
+            raise ValueError(f"unknown lock backend {locks!r}")
+        self.registry = ProcessRegistry()
+        self.counters = Counters()
+        if placement not in ("balanced", "affinity"):
+            raise ValueError(f"unknown placement policy {placement!r}")
+        #: "balanced" = the paper's production behaviour (the queue
+        #: alone decides placement); "affinity" = the Section 5
+        #: future-work locality policy (prefer the fiber's last node,
+        #: so resumes hit that node's fiber cache)
+        self.placement = placement
+        # ------- adaptive migration (Section 5 future work) ----------
+        #: "programmer" = the paper's production behaviour (the stub's
+        #: static/dynamic flags decide); "adaptive" = Vinz learns which
+        #: operations are fast enough that migration costs more than it
+        #: saves, and calls those synchronously.
+        self.migration_policy = "programmer"
+        #: per-soap-action EWMA of observed service latency (seconds)
+        self.service_latency: Dict[str, float] = {}
+        #: migrate only when the expected service time exceeds this —
+        #: roughly the cost of one persist + one restore + queue trip
+        self.migration_threshold = 0.05
+        self.migration_ewma_alpha = 0.3
+        # ------- deadline-aware scheduling (Section 5 / refs [7][8]) --
+        #: "fcfs" = the paper's production behaviour ("task scheduling
+        #: is first-come-first-serve, which has been shown to be
+        #: suboptimal in the presence of deadlines"); "edf" = derive
+        #: message priorities from task slack (earliest deadline first)
+        self.scheduling_policy = "fcfs"
+        #: slack (seconds) mapped linearly onto the priority range:
+        #: slack <= 0 -> most urgent; slack >= edf_horizon -> normal
+        self.edf_horizon = 60.0
+        self.taskvar_lock_overhead = taskvar_lock_overhead
+        #: deterministic futures by default: right for the simulation
+        self.future_executor_factory = (future_executor_factory
+                                        or SynchronousFutureExecutor)
+        self.workflows: Dict[str, WorkflowService] = {}
+        # concurrency profiling for the production bench
+        self.task_concurrency = ConcurrencySampler()
+        self.fiber_concurrency = ConcurrencySampler()
+
+    # ------------------------------------------------------------------
+    # deployment
+    # ------------------------------------------------------------------
+
+    def deploy_workflow(self, name: str, source: str,
+                        node_ids: Optional[List[str]] = None,
+                        **config: Any) -> WorkflowService:
+        """Wrap a Gozer program as a workflow service and deploy it.
+
+        ``node_ids`` restricts deployment to specific nodes (default:
+        every node, the paper's usual arrangement).
+        """
+        service = WorkflowService(name, source, self, **config)
+        self.cluster.deploy(service, node_ids=node_ids)
+        self.workflows[name] = service
+        return service
+
+    def deploy_service(self, service) -> None:
+        """Deploy an ordinary (non-workflow) BlueBox service."""
+        self.cluster.deploy(service)
+
+    # ------------------------------------------------------------------
+    # workflow operations (client side of Table 1)
+    # ------------------------------------------------------------------
+
+    def _drain_in_flight(self) -> None:
+        """Process pending completion events (lock releases, counters).
+
+        ``run_until`` stops at the instant a predicate is satisfied,
+        which can leave operations mid-window; draining them keeps the
+        platform's bookkeeping consistent for the caller.
+        """
+        self.cluster.run_until(lambda: not self.cluster._in_flight)
+
+    def start(self, workflow: str, params: Any = None,
+              deadline: Optional[float] = None) -> str:
+        """Start a task asynchronously; return its id immediately.
+
+        ``deadline`` (absolute virtual time) feeds the EDF scheduling
+        policy when ``scheduling_policy="edf"``.
+        """
+        body: Dict[str, Any] = {"params": params}
+        if deadline is not None:
+            body["deadline"] = deadline
+        envelope = self.cluster.call(workflow, "Start", body)
+        if not envelope.ok:
+            raise WorkflowError(envelope.fault_qname, envelope.fault_message)
+        return envelope.value["task"]
+
+    def run(self, workflow: str, params: Any = None) -> str:
+        """Run a task to completion; return its id."""
+        envelope = self.cluster.call(workflow, "Run", {"params": params})
+        if not envelope.ok:
+            raise WorkflowError(envelope.fault_qname, envelope.fault_message)
+        self._drain_in_flight()
+        return envelope.value["task"]
+
+    def call(self, workflow: str, params: Any = None) -> Any:
+        """Run a task to completion; return its final result."""
+        envelope = self.cluster.call(workflow, "Call", {"params": params})
+        if not envelope.ok:
+            raise WorkflowError(envelope.fault_qname, envelope.fault_message)
+        self._drain_in_flight()
+        return envelope.value
+
+    def terminate(self, task_id: str) -> None:
+        task = self.registry.tasks[task_id]
+        self.cluster.call(task.workflow, "Terminate", {"task": task_id})
+
+    def wait_for_task(self, task_id: str,
+                      deadline: Optional[float] = None) -> TaskRecord:
+        """Advance the simulation until the task finishes."""
+        task = self.registry.tasks[task_id]
+        ok = self.cluster.run_until(lambda: task.finished, deadline=deadline)
+        if not ok:
+            raise TimeoutError(f"task {task_id} did not finish "
+                               f"(status {task.status})")
+        self._drain_in_flight()
+        return task
+
+    def result_of(self, task_id: str) -> Any:
+        task = self.registry.tasks[task_id]
+        if task.status != COMPLETED:
+            raise WorkflowError("{urn:vinz}WorkflowFailed",
+                                task.error or task.status)
+        return task.result
+
+    # ------------------------------------------------------------------
+    # service resolution (deflink support)
+    # ------------------------------------------------------------------
+
+    def resolve_wsdl(self, namespace: str, port: Optional[str] = None):
+        service = self.cluster.find_service_by_namespace(namespace)
+        if service is None and namespace in self.cluster.services:
+            service = self.cluster.services[namespace]
+        if service is None:
+            raise KeyError(f"deflink: no deployed service publishes "
+                           f"{namespace!r}")
+        return service.wsdl
+
+    def resolve_soap_action(self, soap_action: str):
+        namespace, _, operation = soap_action.rpartition(":")
+        service = self.cluster.find_service_by_namespace(namespace)
+        if service is None:
+            raise KeyError(f"no service for soap action {soap_action!r}")
+        return service.name, operation
+
+    # ------------------------------------------------------------------
+    # adaptive migration (Section 5 future work)
+    # ------------------------------------------------------------------
+
+    def record_service_latency(self, soap_action: str, seconds: float) -> None:
+        """Feed one observed request round-trip into the learner."""
+        previous = self.service_latency.get(soap_action)
+        if previous is None:
+            self.service_latency[soap_action] = seconds
+        else:
+            alpha = self.migration_ewma_alpha
+            self.service_latency[soap_action] = \
+                alpha * seconds + (1 - alpha) * previous
+        self.counters.incr("migration.observations")
+
+    def should_migrate(self, soap_action: str) -> bool:
+        """Should a request to ``soap_action`` migrate the fiber?
+
+        Under the default "programmer" policy, always yes (the
+        generated stub's static/dynamic flags already had their say) —
+        the paper's production behaviour, where the programmer must
+        "decide, and often guess".  Under "adaptive", migrate only when
+        the learned latency exceeds the migration overhead; unknown
+        operations migrate once to be measured.
+        """
+        if self.migration_policy != "adaptive":
+            return True
+        expected = self.service_latency.get(soap_action)
+        if expected is None:
+            return True  # explore: measure it the expensive-safe way
+        migrate = expected >= self.migration_threshold
+        self.counters.incr("migration.decisions."
+                           + ("async" if migrate else "sync"))
+        return migrate
+
+    def message_priority(self, task: "TaskRecord", default: int) -> int:
+        """Priority for a fiber message of ``task`` under the current
+        scheduling policy.
+
+        FCFS returns ``default`` (queue order alone decides, as in the
+        paper's production system).  EDF maps the task's remaining
+        slack onto the priority scale so tighter deadlines are
+        delivered first.
+        """
+        if self.scheduling_policy != "edf" or task.deadline is None:
+            return default
+        slack = task.deadline - self.cluster.kernel.now
+        if slack <= 0:
+            return 1
+        # linear map of [0, horizon] onto priorities [1, 8]
+        fraction = min(1.0, slack / self.edf_horizon)
+        return 1 + int(fraction * 7)
+
+    # ------------------------------------------------------------------
+    # failure injection / operations
+    # ------------------------------------------------------------------
+
+    def fail_node(self, node_id: str) -> int:
+        """Kill a node; expire its lock session (coordinator semantics)."""
+        requeued = self.cluster.fail_node(node_id)
+        if isinstance(self.locks, CoordinatorLockManager):
+            # sessions are per-owner strings that embed the instance id;
+            # expire all sessions belonging to this node
+            for owner in list(self.locks._sessions):
+                if f"@{node_id}#" in owner:
+                    self.locks.expire_session(owner)
+        return requeued
+
+    def restore_node(self, node_id: str) -> None:
+        self.cluster.restore_node(node_id)
+
+    # ------------------------------------------------------------------
+    # monitoring hooks (called by WorkflowService)
+    # ------------------------------------------------------------------
+
+    def monitor_task_started(self, task: TaskRecord, now: float) -> None:
+        self.task_concurrency.change(now, +1)
+        self.fiber_concurrency.change(now, +1)  # the initial fiber
+        self.counters.incr("tasks.started")
+        self.counters.incr("fibers.started")
+
+    def monitor_task_finished(self, task: TaskRecord, now: float) -> None:
+        self.task_concurrency.change(now, -1)
+        self.counters.incr(f"tasks.{task.status}")
+        if task.duration is not None:
+            self.counters.add("tasks.total_duration", task.duration)
+
+    def monitor_fiber_started(self, fiber, now: float) -> None:
+        self.fiber_concurrency.change(now, +1)
+        self.counters.incr("fibers.started")
+
+    def monitor_fiber_finished(self, fiber, now: float) -> None:
+        self.fiber_concurrency.change(now, -1)
+        self.counters.incr(f"fibers.{fiber.status}")
+
+    # ------------------------------------------------------------------
+    # metrics summary
+    # ------------------------------------------------------------------
+
+    def cache_hit_rates(self) -> Dict[str, float]:
+        """Cluster-wide mutable/immutable fiber-cache hit rates
+        (the paper's Section 4.2 measurement)."""
+        out = {}
+        for kind in ("mutable", "immutable"):
+            hits = self.counters.get(f"cache.{kind}.hit")
+            misses = self.counters.get(f"cache.{kind}.miss")
+            total = hits + misses
+            out[kind] = hits / total if total else 0.0
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "virtual_time": self.cluster.kernel.now,
+            "tasks": self.registry.counts(),
+            "fibers_total": len(self.registry.fibers),
+            "queue": {
+                "enqueued": self.cluster.queue.enqueued,
+                "delivered": self.cluster.queue.delivered,
+                "redelivered": self.cluster.queue.redelivered,
+                "mean_wait": self.cluster.queue.mean_wait(),
+            },
+            "store": {
+                "writes": self.store.writes,
+                "reads": self.store.reads,
+                "bytes_written": self.store.bytes_written,
+            },
+            "cache": self.cache_hit_rates(),
+            "utilization": self.cluster.utilization(),
+            "peak_task_concurrency": self.task_concurrency.peak,
+            "peak_fiber_concurrency": self.fiber_concurrency.peak,
+        }

@@ -1,0 +1,274 @@
+"""Fiber persistence: serialization and compression (paper Section 4.2).
+
+"Vinz writes a fiber's state and data using Java serialization, with
+many customizations for efficiency" — here, pickle with the same three
+optimizations the paper reports:
+
+1. **Compression before writing**: "compressing the serialized data
+   before writing it to NFS was a net win by reducing IO costs
+   considerably".
+2. **Raw deflate over gzip**: "plain deflate can be made to perform
+   approximately 30% better than the more robust and space-efficient
+   gzip format".  ``deflate`` here is raw zlib with no gzip header or
+   CRC32 trailer, at a lighter compression level; ``gzip`` uses the
+   full gzip framing at its default level — the same robustness-for-
+   speed trade the paper describes.
+3. **A custom format for the most commonly serialized objects**: the
+   dominant payload in a fiber snapshot is *program code* (CodeObjects)
+   and interned symbols, which never change after load.  The custom
+   codec pickles them by reference into a shared
+   :class:`CodeRegistry` instead of by value, the way the paper's
+   custom format special-cases its hottest object types.
+
+Serialized blobs are framed ``b"GZR1" + codec byte + payload`` so any
+node can decode a blob written with any codec.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import pickle
+import zlib
+from typing import Any, Dict, Optional, Tuple
+
+from ..lang.bytecode import CodeObject
+
+MAGIC = b"GZR1"
+
+CODEC_NONE = b"N"
+CODEC_GZIP = b"G"
+CODEC_DEFLATE = b"D"
+CODEC_CUSTOM = b"C"
+
+#: raw-deflate compression level: lighter than gzip's default 9-ish
+#: work factor; this is where the ~30% CPU savings come from.
+DEFLATE_LEVEL = 3
+GZIP_LEVEL = 9
+
+
+class CodeRegistry:
+    """Shared registry of immutable program objects.
+
+    Both serializing and deserializing nodes have the workflow program
+    loaded (Vinz deploys it everywhere, Section 3.1), so code objects
+    can travel as small reference tokens.  Registration is idempotent
+    and keyed by a stable id.
+    """
+
+    def __init__(self):
+        self._by_key: Dict[str, CodeObject] = {}
+        self._by_id: Dict[int, str] = {}
+        self._counter = 0
+
+    def register(self, code: CodeObject) -> str:
+        existing = self._by_id.get(id(code))
+        if existing is not None:
+            return existing
+        key = f"code:{self._counter}:{code.name}"
+        self._counter += 1
+        self._by_key[key] = code
+        self._by_id[id(code)] = key
+        return key
+
+    def register_tree(self, code: CodeObject) -> None:
+        """Register ``code`` and every code object it references."""
+        from ..lang.bytecode import nested_code_objects
+
+        for obj in nested_code_objects(code):
+            self.register(obj)
+
+    def lookup(self, key: str) -> CodeObject:
+        return self._by_key[key]
+
+    def key_for(self, code: CodeObject) -> Optional[str]:
+        return self._by_id.get(id(code))
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+
+class HostFunctionRegistry:
+    """Host (Python) functions referenced by serialized fibers.
+
+    A suspended fiber's operand stacks may hold references to builtins
+    and Vinz intrinsics (e.g. ``%parse-wsdl-response`` loaded before its
+    argument is evaluated).  Those are part of the *program*, present on
+    every node, so — like the paper's custom format for common objects —
+    they serialize as small name tokens rather than by value.
+    """
+
+    def __init__(self):
+        self._by_name: Dict[str, Any] = {}
+        self._by_id: Dict[int, str] = {}
+
+    def register(self, name: str, fn: Any) -> None:
+        self._by_name[name] = fn
+        self._by_id[id(fn)] = name
+
+    def key_for(self, fn: Any) -> Optional[str]:
+        return self._by_id.get(id(fn))
+
+    def lookup(self, name: str):
+        return self._by_name[name]
+
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+
+class _RegistryPickler(pickle.Pickler):
+    def __init__(self, file, registry: CodeRegistry,
+                 hosts: Optional[HostFunctionRegistry],
+                 ref_code: bool):
+        super().__init__(file, protocol=pickle.HIGHEST_PROTOCOL)
+        self._registry = registry
+        self._hosts = hosts
+        self._ref_code = ref_code
+
+    def persistent_id(self, obj):
+        if self._ref_code and isinstance(obj, CodeObject):
+            key = self._registry.key_for(obj)
+            if key is None:
+                # unseen code (e.g. built interactively): register so
+                # the reader side of *this* registry can resolve it.
+                key = self._registry.register(obj)
+            return ("code", key)
+        if self._hosts is not None and callable(obj) \
+                and not isinstance(obj, type):
+            from ..gvm.frames import GozerFunction
+
+            if not isinstance(obj, GozerFunction):
+                key = self._hosts.key_for(obj)
+                if key is not None:
+                    return ("host", key)
+        return None
+
+
+class _RegistryUnpickler(pickle.Unpickler):
+    def __init__(self, file, registry: CodeRegistry,
+                 hosts: Optional[HostFunctionRegistry]):
+        super().__init__(file)
+        self._registry = registry
+        self._hosts = hosts
+
+    def persistent_load(self, pid):
+        kind, key = pid
+        if kind == "code":
+            return self._registry.lookup(key)
+        if kind == "host":
+            return self._hosts.lookup(key)
+        raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+
+
+class FiberCodec:
+    """Encodes/decodes fiber state blobs with a selectable codec.
+
+    ``codec`` is one of ``"none" | "gzip" | "deflate" | "custom"``.
+    ``custom`` implies the code-registry pickling *plus* raw deflate of
+    the (much smaller) remainder.
+    """
+
+    NAMES = {
+        "none": CODEC_NONE,
+        "gzip": CODEC_GZIP,
+        "deflate": CODEC_DEFLATE,
+        "custom": CODEC_CUSTOM,
+    }
+
+    def __init__(self, codec: str = "deflate",
+                 registry: Optional[CodeRegistry] = None,
+                 hosts: Optional[HostFunctionRegistry] = None):
+        if codec not in self.NAMES:
+            raise ValueError(f"unknown codec {codec!r}")
+        self.codec = codec
+        self.registry = registry if registry is not None else CodeRegistry()
+        self.hosts = hosts if hosts is not None else HostFunctionRegistry()
+        # statistics
+        self.encoded = 0
+        self.decoded = 0
+        self.raw_bytes = 0
+        self.stored_bytes = 0
+
+    # -- encode ---------------------------------------------------------
+
+    def dumps(self, state: Any) -> bytes:
+        # every codec pickles host functions by reference (they are
+        # program, not state); only `custom` also refs CodeObjects
+        raw = self._pickle(state, ref_code=(self.codec == "custom"))
+        if self.codec == "none":
+            payload = raw
+        elif self.codec == "gzip":
+            payload = gzip.compress(raw, compresslevel=GZIP_LEVEL)
+        else:  # deflate and custom
+            payload = zlib.compress(raw, DEFLATE_LEVEL)
+        self.encoded += 1
+        self.raw_bytes += len(raw)
+        blob = MAGIC + self.NAMES[self.codec] + payload
+        self.stored_bytes += len(blob)
+        return blob
+
+    # -- decode ---------------------------------------------------------
+
+    def loads(self, blob: bytes) -> Any:
+        if blob[:4] != MAGIC:
+            raise ValueError("not a Gozer fiber blob")
+        codec = blob[4:5]
+        payload = blob[5:]
+        if codec == CODEC_NONE:
+            state = self._unpickle(payload)
+        elif codec == CODEC_GZIP:
+            state = self._unpickle(gzip.decompress(payload))
+        elif codec in (CODEC_DEFLATE, CODEC_CUSTOM):
+            state = self._unpickle(zlib.decompress(payload))
+        else:
+            raise ValueError(f"unknown codec byte {codec!r}")
+        self.decoded += 1
+        return state
+
+    # -- helpers ----------------------------------------------------------
+
+    def _pickle(self, state: Any, ref_code: bool) -> bytes:
+        buffer = io.BytesIO()
+        _RegistryPickler(buffer, self.registry, self.hosts, ref_code).dump(state)
+        return buffer.getvalue()
+
+    def _unpickle(self, raw: bytes) -> Any:
+        return _RegistryUnpickler(io.BytesIO(raw), self.registry,
+                                  self.hosts).load()
+
+
+def blob_codec_name(blob: bytes) -> str:
+    """Identify which codec produced ``blob``."""
+    if blob[:4] != MAGIC:
+        raise ValueError("not a Gozer fiber blob")
+    for name, byte in FiberCodec.NAMES.items():
+        if blob[4:5] == byte:
+            return name
+    raise ValueError(f"unknown codec byte {blob[4:5]!r}")
+
+
+def compare_codecs(state: Any, registry: Optional[CodeRegistry] = None,
+                   repeats: int = 1) -> Dict[str, Dict[str, float]]:
+    """Measure each codec on ``state``: size and encode/decode wall time.
+
+    The raw material of benchmark S4a; also used by tests to assert the
+    size ordering (custom < deflate ≈ gzip < none).
+    """
+    import time
+
+    results: Dict[str, Dict[str, float]] = {}
+    for codec_name in FiberCodec.NAMES:
+        codec = FiberCodec(codec_name, registry=registry)
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            blob = codec.dumps(state)
+        t1 = time.perf_counter()
+        for _ in range(repeats):
+            codec.loads(blob)
+        t2 = time.perf_counter()
+        results[codec_name] = {
+            "bytes": float(len(blob)),
+            "encode_s": (t1 - t0) / repeats,
+            "decode_s": (t2 - t1) / repeats,
+        }
+    return results

@@ -1,0 +1,1024 @@
+"""The workflow-as-a-service wrapper: Table 1 of the paper.
+
+"A distributed workflow begins as a Gozer program.  Vinz takes this
+program and makes it available for running on the nodes of the BlueBox
+cluster ... by wrapping the Gozer program up as a distinct BlueBox
+service" (Section 3.1) publishing the standardized operations:
+
+=============== ===========================================================
+Start           Asynchronously begin execution of a workflow, returning
+                its id.
+Run             Synchronously execute a workflow, returning its id.
+Call            Synchronously execute a workflow, returning its last
+                result.
+Terminate       Management operation to asynchronously terminate any
+                running workflow.
+RunFiber        Begin execution of a portion of the workflow on this
+                instance.
+AwakeFiber      Resume a suspended parent fiber when a child fiber has
+                completed.
+ResumeFromCall  Resume a suspended fiber when a remote operation
+                completes.
+JoinProcess     Resume a suspended fiber when any arbitrary process has
+                completed.
+=============== ===========================================================
+
+The :class:`FiberExecution` object is what the Vinz intrinsics
+(:mod:`repro.vinz.distribution`) talk to while a fiber advances on the
+GVM.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, List, Optional
+
+from ..bluebox.messagequeue import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    ReplyTo,
+)
+from ..bluebox.services import (
+    Deferred,
+    OperationContext,
+    Requeue,
+    Service,
+    ServiceFault,
+)
+from ..gvm.conditions import GozerCondition, UnhandledConditionError
+from ..gvm.frames import GozerFunction
+from ..gvm.futures import enter_fiber_thread
+from ..gvm.runtime import Runtime
+from ..gvm.vm import Done, Yielded
+from ..lang.errors import GozerRuntimeError
+from ..lang.symbols import Symbol
+from . import deflink as deflink_module
+from . import distribution, handlers
+from .cache import FiberCache
+from .persistence import FiberCodec
+from .task import (
+    COMPLETED,
+    ERROR,
+    FiberRecord,
+    RUNNING,
+    TERMINATED,
+    TaskRecord,
+)
+
+_S = Symbol
+
+
+class WorkflowService(Service):
+    """One Gozer workflow program deployed as a BlueBox service.
+
+    Configuration knobs (all per the paper):
+
+    * ``spawn_limit`` — default concurrent-children throttle (§3.5);
+    * ``awake_patience`` — how long an AwakeFiber holds its slot waiting
+      for the fiber lock before requeueing itself (§5);
+    * ``instruction_cost`` — simulated seconds charged per executed GVM
+      instruction (models the fiber's compute);
+    * ``codec`` — fiber persistence codec (§4.2);
+    * ``cache`` — enable/disable the per-node fiber cache (§4.2).
+    """
+
+    #: fiber-lifecycle messages (RunFiber/AwakeFiber/ResumeFromCall/
+    #: JoinProcess) retry effectively forever: the paper's AwakeFiber
+    #: "places itself back on the message queue for later delivery"
+    #: without a poison-message cap (Section 5).
+    FIBER_MESSAGE_ATTEMPTS = 1_000_000
+
+    def __init__(self, name: str, source: str, vinz_env,
+                 main: str = "main",
+                 spawn_limit: int = 4,
+                 awake_patience: float = 0.02,
+                 requeue_delay: float = 0.02,
+                 instruction_cost: float = 2e-6,
+                 codec: str = "custom",
+                 cache: bool = True,
+                 cache_capacity: int = 256,
+                 auto_chunk_target: float = 4.0):
+        super().__init__(name, doc=f"Vinz workflow {name}")
+        self.source = source
+        self.vinz = vinz_env
+        self.main_name = main
+        self.default_spawn_limit = spawn_limit
+        self.awake_patience = awake_patience
+        self.requeue_delay = requeue_delay
+        self.instruction_cost = instruction_cost
+        self.cache_enabled = cache
+        self.cache_capacity = cache_capacity
+        #: target per-chunk duration for :chunk-size :auto (seconds)
+        self.auto_chunk_target = auto_chunk_target
+        self.codec = FiberCodec(codec)
+        self.runtime: Optional[Runtime] = None
+        self.task_var_defaults: Dict[str, Any] = {}
+        self.task_var_docs: Dict[str, str] = {}
+        self.handler_definitions: Dict[str, handlers.HandlerDefinition] = {}
+        self._register_operations()
+
+    # ------------------------------------------------------------------
+    # deployment: load the program
+    # ------------------------------------------------------------------
+
+    def on_deployed(self, cluster) -> None:
+        if self.runtime is not None:
+            return  # already loaded (idempotent deploys)
+        from ..gvm.futures import SynchronousFutureExecutor
+
+        self.runtime = Runtime(executor=self.vinz.future_executor_factory())
+        distribution.install(self.runtime, self)
+        handlers.install(self.runtime, self)
+        deflink_module.install(self.runtime, self)
+        self.runtime.eval_string(self.source)
+        # register every loaded code object so the custom codec can
+        # serialize fibers by reference (paper's custom format), and
+        # every host function so any codec can pickle it by name
+        for name, value in list(self.runtime.global_env.variables.items()):
+            if isinstance(value, GozerFunction):
+                self.codec.registry.register_tree(value.code)
+            elif callable(value):
+                self.codec.hosts.register(name.name, value)
+        for macro in list(self.runtime.global_env.macros.values()):
+            fn = getattr(macro, "function", None)
+            if isinstance(fn, GozerFunction):
+                self.codec.registry.register_tree(fn.code)
+
+    def declare_task_var(self, name: str, default: Any, doc: Optional[str]) -> None:
+        self.task_var_defaults[name] = default
+        if doc:
+            self.task_var_docs[name] = doc
+
+    def define_handler(self, definition: "handlers.HandlerDefinition") -> None:
+        self.handler_definitions[definition.name] = definition
+
+    # ------------------------------------------------------------------
+    # Table 1 operations
+    # ------------------------------------------------------------------
+
+    def _register_operations(self) -> None:
+        self.add_operation(
+            "Start", self.op_start,
+            doc="Asynchronously begin execution of a workflow, returning its id.",
+            parameters=["params"], output="task-id")
+        self.add_operation(
+            "Run", self.op_run,
+            doc="Synchronously execute a workflow, returning its id.",
+            parameters=["params"], output="task-id")
+        self.add_operation(
+            "Call", self.op_call,
+            doc="Synchronously execute a workflow, returning its last result.",
+            parameters=["params"], output="any")
+        self.add_operation(
+            "Terminate", self.op_terminate,
+            doc="Management operation to asynchronously terminate any running workflow.",
+            parameters=["task"], output="boolean")
+        self.add_operation(
+            "RunFiber", self.op_run_fiber,
+            doc="Begin execution of a portion of the workflow on this instance.",
+            parameters=["fiber"])
+        self.add_operation(
+            "AwakeFiber", self.op_awake_fiber,
+            doc="Resume a suspended parent fiber when a child fiber has completed.",
+            parameters=["fiber", "child"])
+        self.add_operation(
+            "ResumeFromCall", self.op_resume_from_call,
+            doc="Resume a suspended fiber when a remote operation completes.",
+            parameters=["fiber", "response"])
+        self.add_operation(
+            "JoinProcess", self.op_join_process,
+            doc="Resume a suspended fiber when any arbitrary process has completed.",
+            parameters=["fiber", "process", "result"])
+        # extension operation (Section 5: "lighter-weight cross-process
+        # communication mechanisms"): direct fiber-to-fiber messages
+        self.add_operation(
+            "DeliverMessage", self.op_deliver_message,
+            doc="Deliver a message to a fiber's mailbox, resuming it "
+                "if it is blocked in receive-message (extension).",
+            parameters=["fiber", "value"])
+
+    # -- lifecycle entry points -------------------------------------------
+
+    def _create_task(self, ctx: OperationContext, params: Any,
+                     deadline: Optional[float] = None) -> TaskRecord:
+        registry = self.vinz.registry
+        task = registry.new_task(self.name, params, ctx.now)
+        task.deadline = deadline
+        fiber = registry.new_fiber(task, ctx.now)
+        # persist the task's immutable environment once (Section 4.2's
+        # immutable data: parameters + workflow identity)
+        env_blob = self.codec.dumps({"workflow": self.name, "params": params})
+        ctx.charge(self.vinz.store.write(self._task_env_key(task.id), env_blob))
+        ctx.trace("task-start", task=task.id, fiber=fiber.id)
+        self.vinz.monitor_task_started(task, ctx.now)
+        ctx.send(self.name, "RunFiber", {"fiber": fiber.id, "task": task.id},
+                 priority=self.vinz.message_priority(task, PRIORITY_NORMAL),
+                 max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
+        return task
+
+    def op_start(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
+        task = self._create_task(ctx, body.get("params"),
+                                 deadline=body.get("deadline"))
+        return {"task": task.id}
+
+    def op_run(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
+        task = self._create_task(ctx, body.get("params"),
+                                 deadline=body.get("deadline"))
+        deferred = ctx.defer()
+        task.completion_listeners.append(
+            lambda t: deferred.resolve({"task": t.id, "status": t.status}))
+        return deferred
+
+    def op_call(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
+        task = self._create_task(ctx, body.get("params"),
+                                 deadline=body.get("deadline"))
+        deferred = ctx.defer()
+
+        def finish(t: TaskRecord) -> None:
+            if t.status == COMPLETED:
+                deferred.resolve(t.result)
+            else:
+                deferred.fail(self.wsdl.fault_qname("WorkflowFailed"),
+                              t.error or t.status)
+
+        task.completion_listeners.append(finish)
+        return deferred
+
+    def op_terminate(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
+        task_id = body["task"]
+        registry = self.vinz.registry
+        task = registry.tasks.get(task_id)
+        if task is None:
+            raise ServiceFault(self.wsdl.fault_qname("NoSuchTask"), task_id)
+        if not task.finished:
+            self._finish_task(ctx, task, TERMINATED,
+                              error="terminated by management operation")
+            ctx.trace("task-terminate", task=task.id)
+        return True
+
+    def _finish_task(self, ctx: OperationContext, task: TaskRecord,
+                     status: str, result: Any = None,
+                     error: Optional[str] = None) -> None:
+        """Finish a task and sweep its unfinished fibers.
+
+        Fibers still queued will notice ``task.finished`` when their
+        message arrives; suspended fibers that would otherwise wait
+        forever (e.g. a parent awaiting AwakeFiber) are terminated here
+        and their persisted state reclaimed.
+        """
+        registry = self.vinz.registry
+        registry.finish_task(task, status, ctx.now, result=result, error=error)
+        self.vinz.monitor_task_finished(task, ctx.now)
+        for fiber in registry.fibers_of(task.id):
+            if not fiber.finished:
+                registry.finish_fiber(fiber, TERMINATED, ctx.now)
+                self.vinz.store.delete(self._state_key(fiber.id))
+                self.vinz.store.delete(self._thunk_key(fiber.id))
+                self.vinz.monitor_fiber_finished(fiber, ctx.now)
+                self._notify_fiber_waiters(ctx, fiber)
+        waiters, task.join_waiters = task.join_waiters, []
+        for waiter in waiters:
+            ctx.send(self.name, "JoinProcess",
+                     {"fiber": waiter, "process": task.id,
+                      "result": task.result},
+                     max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
+
+    # -- fiber advancement --------------------------------------------------
+
+    def op_run_fiber(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
+        return self._advance(ctx, body["fiber"], resume=False, value=None,
+                             patience=self.awake_patience)
+
+    def op_awake_fiber(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
+        return self._advance(ctx, body["fiber"], resume=True,
+                             value={"child": body.get("child"),
+                                    "result": body.get("result")},
+                             patience=self.awake_patience)
+
+    def op_resume_from_call(self, ctx: OperationContext,
+                            body: Dict[str, Any]) -> Any:
+        if "soap_action" in body and "sent_at" in body:
+            # feed the adaptive-migration learner (Section 5 future
+            # work) with the observed round-trip time
+            self.vinz.record_service_latency(
+                body["soap_action"], ctx.now - body["sent_at"])
+        return self._advance(ctx, body["fiber"], resume=True,
+                             value=body.get("response"),
+                             patience=self.awake_patience)
+
+    def op_join_process(self, ctx: OperationContext,
+                        body: Dict[str, Any]) -> Any:
+        return self._advance(ctx, body["fiber"], resume=True,
+                             value=body.get("result"),
+                             patience=self.awake_patience)
+
+    #: resume-value sentinel: "pop the next mailbox entry under the
+    #: fiber lock" — keeps delivery idempotent across requeues
+    _MAILBOX = "%vinz-mailbox%"
+
+    def op_deliver_message(self, ctx: OperationContext,
+                           body: Dict[str, Any]) -> Any:
+        fiber = self.vinz.registry.fibers.get(body["fiber"])
+        if fiber is None:
+            raise ServiceFault(self.wsdl.fault_qname("NoSuchFiber"),
+                               body["fiber"])
+        if fiber.finished:
+            return None  # messages to dead fibers are dropped
+        # idempotent append: a re-delivered message (receiver was
+        # locked on the first attempt) must not duplicate the value
+        if ctx.message.id not in fiber.seen_deliveries:
+            fiber.seen_deliveries.add(ctx.message.id)
+            fiber.mailbox.append(body.get("value"))
+            self.vinz.counters.incr("mailbox.delivered")
+        if fiber.waiting_on == "receive":
+            # wake the receiver; the value is popped under the lock so
+            # a requeued wake-up cannot double-deliver
+            return self._advance(ctx, fiber.id, resume=True,
+                                 value=self._MAILBOX,
+                                 patience=self.awake_patience)
+        return None
+
+    def _advance(self, ctx: OperationContext, fiber_id: str, resume: bool,
+                 value: Any, patience: float) -> Any:
+        registry = self.vinz.registry
+        fiber = registry.fibers.get(fiber_id)
+        if fiber is None:
+            raise ServiceFault(self.wsdl.fault_qname("NoSuchFiber"), fiber_id)
+        task = registry.task(fiber.task_id)
+
+        # a terminated task's fibers "notice that the task has
+        # terminated in short order and also terminate" (Section 3.7)
+        if task.finished:
+            if not fiber.finished:
+                registry.finish_fiber(fiber, TERMINATED, ctx.now)
+                self.vinz.monitor_fiber_finished(fiber, ctx.now)
+            ctx.trace("fiber-skip-terminated", task=task.id, fiber=fiber.id)
+            return None
+        if fiber.finished:
+            return None
+
+        # single-runner guarantee (Section 4.2): one node at a time.
+        # The lock is held for the operation's entire *simulated*
+        # processing window (released by a completion hook), which is
+        # what produces the Section 5 AwakeFiber contention: siblings
+        # delivered during the window find the lock held.
+        owner = f"{ctx.instance.id}#{ctx.message.id}"
+        lock_key = f"fiber/{fiber.id}"
+        if not self.vinz.locks.try_acquire(lock_key, owner):
+            # hold the slot for the patience window, then give up and
+            # requeue (the Section 5 burstiness behaviour)
+            ctx.charge(patience)
+            self.vinz.counters.incr("awake.lock-wait")
+            return Requeue(delay=self.requeue_delay)
+        release = lambda: self.vinz.locks.release(lock_key, owner)  # noqa: E731
+        ctx.on_complete(release)
+        ctx.on_abort(release)  # node death must not leave the fiber stuck
+        return self._advance_locked(ctx, task, fiber, resume, value)
+
+    # -- the core: load state, run the GVM, act on the outcome ------------
+
+    def _advance_locked(self, ctx: OperationContext, task: TaskRecord,
+                        fiber: FiberRecord, resume: bool, value: Any) -> Any:
+        registry = self.vinz.registry
+        # Crash atomicity: if the node dies before this operation's
+        # simulated window ends, the redelivered message must replay
+        # against the *pre-window* fiber state (real Vinz gets this from
+        # JMS transactions: state write + sends + ack commit together).
+        ctx.on_abort(self._make_abort_undo(task, fiber))
+        fiber.status = RUNNING
+        if task.status != RUNNING:
+            task.status = RUNNING
+
+        cache = self._node_cache(ctx)
+        self._touch_task_env(ctx, cache, task)
+
+        vm = self.runtime.new_vm(allow_yield=True)
+        execution = FiberExecution(self, ctx, task, fiber, vm)
+        vm.vinz = execution
+        # make the execution reachable from future bodies too (they run
+        # on their own VM): Section 3.2's sync fallback needs it
+        cv_token = distribution.CURRENT_EXECUTION.set(execution)
+        enter_fiber_thread()
+
+        fiber.last_node = ctx.node.id
+        if resume and value == self._MAILBOX:
+            if not fiber.mailbox:
+                # a duplicate wake-up raced an earlier consumption:
+                # nothing to deliver, leave the fiber suspended
+                return None
+            value = fiber.mailbox.pop(0)
+            fiber.waiting_on = None
+        ctx.trace("fiber-run", task=task.id, fiber=fiber.id,
+                  resume=resume, version=fiber.version)
+        charged_before = ctx.charged
+        instructions_before = vm.instruction_count
+        try:
+            if not resume:
+                outcome = self._start_fresh(ctx, vm, task, fiber)
+            else:
+                continuation = self._load_continuation(ctx, cache, fiber)
+                outcome = vm.resume(continuation, value)
+            if isinstance(outcome, Done):
+                self._fiber_completed(ctx, task, fiber, outcome.value)
+                return None
+            assert isinstance(outcome, Yielded)
+            self._fiber_suspended(ctx, cache, task, fiber, outcome)
+            return None
+        except (distribution.VinzBreak,):
+            self._fiber_completed(ctx, task, fiber, None)
+            return None
+        except distribution.VinzTerminateTask as term:
+            self._fiber_failed(ctx, task, fiber, term.reason,
+                               terminate_task=True)
+            return None
+        except UnhandledConditionError as exc:
+            # An unhandled error in the *main* fiber fails the task; a
+            # child fiber's failure is recorded on the child and
+            # surfaces to the parent as a `child-fiber-error` condition
+            # when it collects results — giving the parent's handlers a
+            # chance (Section 3.7).
+            self._fiber_failed(ctx, task, fiber, str(exc.condition),
+                               terminate_task=(fiber.parent_id is None))
+            return None
+        except ServiceFault as fault:
+            # a platform-level problem surfaced while advancing the
+            # fiber (no main function, bad join target, ...): the task
+            # fails rather than hanging its callers
+            self._fiber_failed(ctx, task, fiber,
+                               f"{fault.qname}: {fault.message}",
+                               terminate_task=True)
+            return None
+        finally:
+            vm.vinz = None
+            distribution.CURRENT_EXECUTION.reset(cv_token)
+            ctx.charge((vm.instruction_count - instructions_before)
+                       * self.instruction_cost)
+            fiber.total_charged += ctx.charged - charged_before
+
+    def _affinity_for(self, fiber: FiberRecord):
+        """Placement hint for a message that will run ``fiber`` next.
+
+        Under the "affinity" policy (the paper's Section 5 locality
+        future-work item), resumes prefer the node whose fiber cache is
+        warm; under "balanced" the queue alone decides, as in the
+        paper's production system.
+        """
+        if self.vinz.placement == "affinity":
+            return fiber.last_node
+        return None
+
+    def _make_abort_undo(self, task: TaskRecord, fiber: FiberRecord):
+        """Build the state-rollback hook for node death mid-window."""
+        store = self.vinz.store
+        state_key = self._state_key(fiber.id)
+        prev = dict(
+            version=fiber.version,
+            fiber_status=fiber.status,
+            waiting_on=fiber.waiting_on,
+            fiber_finished_at=fiber.finished_at,
+            fiber_result=fiber.result,
+            fiber_error=fiber.error,
+            task_status=task.status,
+            task_finished_at=task.finished_at,
+            task_result=task.result,
+            blob=store.snapshot_value(state_key),
+            thunk=store.snapshot_value(self._thunk_key(fiber.id)),
+        )
+
+        def undo():
+            fiber.version = prev["version"]
+            fiber.status = prev["fiber_status"]
+            fiber.waiting_on = prev["waiting_on"]
+            fiber.finished_at = prev["fiber_finished_at"]
+            fiber.result = prev["fiber_result"]
+            fiber.error = prev["fiber_error"]
+            task.status = prev["task_status"]
+            task.finished_at = prev["task_finished_at"]
+            task.result = prev["task_result"]
+            store.restore_value(state_key, prev["blob"])
+            store.restore_value(self._thunk_key(fiber.id), prev["thunk"])
+
+        return undo
+
+    def _start_fresh(self, ctx: OperationContext, vm, task: TaskRecord,
+                     fiber: FiberRecord):
+        if fiber.parent_id is None:
+            main = self.runtime.global_env.lookup_or(_S(self.main_name))
+            if not isinstance(main, GozerFunction):
+                raise ServiceFault(
+                    self.wsdl.fault_qname("NoMainFunction"),
+                    f"workflow {self.name} defines no ({self.main_name} params)")
+            return self._run_top_call(vm, main, [task.params])
+        # child fiber: load and run its start thunk (the cloned state)
+        blob = self.vinz.store.read(self._thunk_key(fiber.id))
+        ctx.charge(self.vinz.store.cost(len(blob)))
+        fn, args = self.codec.loads(blob)
+        return self._run_top_call(vm, fn, list(args))
+
+    @staticmethod
+    def _run_top_call(vm, fn: GozerFunction, args: List[Any]):
+        """Run (fn args...) as the fiber's top-level flow of control."""
+        frame = vm._frame_for_call(fn, args)
+        return vm._run_top(frame=frame)
+
+    # -- outcome handling ------------------------------------------------------
+
+    def _fiber_completed(self, ctx: OperationContext, task: TaskRecord,
+                         fiber: FiberRecord, result: Any) -> None:
+        registry = self.vinz.registry
+        registry.finish_fiber(fiber, COMPLETED, ctx.now, result=result)
+        self.vinz.store.delete(self._state_key(fiber.id))
+        self.vinz.store.delete(self._thunk_key(fiber.id))
+        ctx.trace("fiber-complete", task=task.id, fiber=fiber.id)
+        self.vinz.monitor_fiber_finished(fiber, ctx.now)
+        self._notify_fiber_waiters(ctx, fiber)
+        if fiber.chain_group is not None:
+            self._advance_chain(ctx, task, fiber)
+        elif fiber.notify_parent and fiber.parent_id is not None:
+            # "the fibers created by these macros do [notify their
+            # parent]" — as a low-priority AwakeFiber (Section 5)
+            parent = self.vinz.registry.fibers.get(fiber.parent_id)
+            ctx.send(self.name, "AwakeFiber",
+                     {"fiber": fiber.parent_id, "child": fiber.id},
+                     priority=self.vinz.message_priority(task, PRIORITY_LOW),
+                     max_attempts=self.FIBER_MESSAGE_ATTEMPTS,
+                     affinity=self._affinity_for(parent) if parent else None)
+        if fiber.parent_id is None and not task.finished:
+            self._finish_task(ctx, task, COMPLETED, result=result)
+            ctx.trace("task-complete", task=task.id)
+
+    def _advance_chain(self, ctx: OperationContext, task: TaskRecord,
+                       fiber: FiberRecord) -> None:
+        """Sibling chaining (Section 5 future work): a finished chain
+        child launches the next pending sibling itself; only the last
+        one awakens the parent."""
+        group = task.chain_groups.get(fiber.chain_group)
+        if group is None:  # pragma: no cover - group swept with task
+            return
+        if group["pending"]:
+            next_child = group["pending"].pop(0)
+            ctx.send(self.name, "RunFiber",
+                     {"fiber": next_child, "task": task.id},
+                     priority=self.vinz.message_priority(task, PRIORITY_NORMAL),
+                     max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
+            ctx.trace("chain-next", task=task.id, fiber=fiber.id,
+                      child=next_child)
+        group["remaining"] -= 1
+        if group["remaining"] <= 0:
+            parent = self.vinz.registry.fibers.get(group["parent"])
+            ctx.send(self.name, "AwakeFiber",
+                     {"fiber": group["parent"], "child": fiber.id},
+                     priority=self.vinz.message_priority(task, PRIORITY_LOW),
+                     max_attempts=self.FIBER_MESSAGE_ATTEMPTS,
+                     affinity=self._affinity_for(parent) if parent else None)
+
+    def _fiber_failed(self, ctx: OperationContext, task: TaskRecord,
+                      fiber: FiberRecord, error: str,
+                      terminate_task: bool) -> None:
+        registry = self.vinz.registry
+        registry.finish_fiber(fiber, ERROR, ctx.now, error=error)
+        self.vinz.store.delete(self._state_key(fiber.id))
+        ctx.trace("fiber-error", task=task.id, fiber=fiber.id, error=error)
+        self.vinz.monitor_fiber_finished(fiber, ctx.now)
+        self._notify_fiber_waiters(ctx, fiber)
+        if fiber.chain_group is not None:
+            self._advance_chain(ctx, task, fiber)
+        elif fiber.notify_parent and fiber.parent_id is not None:
+            parent = self.vinz.registry.fibers.get(fiber.parent_id)
+            ctx.send(self.name, "AwakeFiber",
+                     {"fiber": fiber.parent_id, "child": fiber.id},
+                     priority=PRIORITY_LOW,
+                     max_attempts=self.FIBER_MESSAGE_ATTEMPTS,
+                     affinity=self._affinity_for(parent) if parent else None)
+        if terminate_task and not task.finished:
+            self._finish_task(ctx, task, ERROR, error=error)
+            ctx.trace("task-error", task=task.id, error=error)
+
+    def _fiber_suspended(self, ctx: OperationContext, cache, task: TaskRecord,
+                         fiber: FiberRecord, outcome: Yielded) -> None:
+        descriptor = outcome.value if isinstance(outcome.value, dict) else \
+            {"kind": "await"}
+        kind = descriptor.get("kind", "await")
+        fiber.waiting_on = kind
+        self._persist_continuation(ctx, cache, fiber, outcome.continuation)
+        ctx.trace("fiber-suspend", task=task.id, fiber=fiber.id, why=kind,
+                  version=fiber.version)
+
+        if kind == "await":
+            pass  # an AwakeFiber from a child will resume us
+        elif kind == "receive":
+            if fiber.mailbox:
+                # a message arrived while we were still running (its
+                # DeliverMessage found us locked): wake ourselves; the
+                # sentinel pops the mailbox under the lock
+                ctx.send(self.name, "JoinProcess",
+                         {"fiber": fiber.id, "result": self._MAILBOX},
+                         max_attempts=self.FIBER_MESSAGE_ATTEMPTS,
+                         affinity=self._affinity_for(fiber))
+            # otherwise the next DeliverMessage resumes us
+        elif kind == "service-call":
+            self._send_service_request(ctx, fiber, descriptor)
+        elif kind == "join":
+            self._register_join(ctx, fiber, descriptor["target"])
+        elif kind == "sleep":
+            seconds = float(descriptor.get("seconds", 0.0))
+            ctx.send_later(seconds, self.name, "JoinProcess",
+                           {"fiber": fiber.id, "result": None},
+                           affinity=self._affinity_for(fiber))
+        else:
+            raise ServiceFault(self.wsdl.fault_qname("BadYield"),
+                               f"unknown yield descriptor {kind!r}")
+
+    def _send_service_request(self, ctx: OperationContext, fiber: FiberRecord,
+                              descriptor: Dict[str, Any]) -> None:
+        service_name, operation = self.vinz.resolve_soap_action(
+            descriptor["soap_action"])
+        ctx.trace("service-request", task=fiber.task_id, fiber=fiber.id,
+                  service=service_name, operation=operation)
+        ctx.send(service_name, operation, dict(descriptor.get("values") or {}),
+                 reply_to=ReplyTo(service=self.name,
+                                  operation="ResumeFromCall",
+                                  extra={"fiber": fiber.id,
+                                         "soap_action": descriptor["soap_action"],
+                                         "sent_at": ctx.now},
+                                  affinity=self._affinity_for(fiber)),
+                 max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
+
+    def _register_join(self, ctx: OperationContext, fiber: FiberRecord,
+                       target: str) -> None:
+        registry = self.vinz.registry
+        if target in registry.fibers:
+            target_fiber = registry.fibers[target]
+            if target_fiber.finished:
+                ctx.send(self.name, "JoinProcess",
+                         {"fiber": fiber.id, "process": target,
+                          "result": target_fiber.result},
+                         max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
+            elif fiber.id not in target_fiber.join_waiters:
+                # idempotent: an aborted-window replay must not register
+                # the waiter twice
+                target_fiber.join_waiters.append(fiber.id)
+        elif target in registry.tasks:
+            target_task = registry.tasks[target]
+            if target_task.finished:
+                ctx.send(self.name, "JoinProcess",
+                         {"fiber": fiber.id, "process": target,
+                          "result": target_task.result},
+                         max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
+            elif fiber.id not in target_task.join_waiters:
+                target_task.join_waiters.append(fiber.id)
+        else:
+            raise ServiceFault(self.wsdl.fault_qname("NoSuchProcess"), target)
+
+    def _notify_fiber_waiters(self, ctx: OperationContext,
+                              fiber: FiberRecord) -> None:
+        waiters, fiber.join_waiters = fiber.join_waiters, []
+        for waiter in waiters:
+            waiting_fiber = self.vinz.registry.fibers.get(waiter)
+            ctx.send(self.name, "JoinProcess",
+                     {"fiber": waiter, "process": fiber.id,
+                      "result": fiber.result},
+                     max_attempts=self.FIBER_MESSAGE_ATTEMPTS,
+                     affinity=(self._affinity_for(waiting_fiber)
+                               if waiting_fiber else None))
+
+    # -- persistence and the fiber cache -----------------------------------
+
+    def _node_cache(self, ctx: OperationContext) -> Optional[FiberCache]:
+        if not self.cache_enabled:
+            return None
+        return FiberCache.for_node(ctx.node,
+                                   mutable_capacity=self.cache_capacity,
+                                   immutable_capacity=4 * self.cache_capacity)
+
+    def _touch_task_env(self, ctx: OperationContext,
+                        cache: Optional[FiberCache],
+                        task: TaskRecord) -> None:
+        """Load the task's immutable environment (cached per node)."""
+        if cache is not None:
+            if cache.get_task_env(task.id) is not None:
+                self.vinz.counters.incr("cache.immutable.hit")
+                return
+            self.vinz.counters.incr("cache.immutable.miss")
+        key = self._task_env_key(task.id)
+        if self.vinz.store.exists(key):
+            blob = self.vinz.store.read(key)
+            ctx.charge(self.vinz.store.cost(len(blob)))
+            env = self.codec.loads(blob)
+        else:  # pragma: no cover - Start always writes it
+            env = {"workflow": self.name, "params": task.params}
+        if cache is not None:
+            cache.put_task_env(task.id, env)
+
+    def _persist_continuation(self, ctx: OperationContext,
+                              cache: Optional[FiberCache],
+                              fiber: FiberRecord, continuation) -> None:
+        fiber.version += 1
+        blob = self.codec.dumps(continuation)
+        cost = self.vinz.store.write(self._state_key(fiber.id), blob)
+        ctx.charge(cost)
+        self.vinz.counters.incr("persist.writes")
+        self.vinz.counters.add("persist.bytes", len(blob))
+        if cache is not None:
+            cache.put_continuation(fiber.id, fiber.version, continuation)
+
+    def _load_continuation(self, ctx: OperationContext,
+                           cache: Optional[FiberCache], fiber: FiberRecord):
+        if cache is not None:
+            cached = cache.get_continuation(fiber.id, fiber.version)
+            if cached is not None:
+                self.vinz.counters.incr("cache.mutable.hit")
+                return cached
+            self.vinz.counters.incr("cache.mutable.miss")
+        blob = self.vinz.store.read(self._state_key(fiber.id))
+        ctx.charge(self.vinz.store.cost(len(blob)))
+        continuation = self.codec.loads(blob)
+        if cache is not None:
+            cache.put_continuation(fiber.id, fiber.version, continuation)
+        return continuation
+
+    # -- store keys ---------------------------------------------------------
+
+    @staticmethod
+    def _state_key(fiber_id: str) -> str:
+        return f"fiber-state/{fiber_id}"
+
+    @staticmethod
+    def _thunk_key(fiber_id: str) -> str:
+        return f"fiber-thunk/{fiber_id}"
+
+    @staticmethod
+    def _task_env_key(task_id: str) -> str:
+        return f"task-env/{task_id}"
+
+    @staticmethod
+    def _task_var_key(task_id: str, name: str) -> str:
+        return f"taskvar/{task_id}/{name}"
+
+
+class FiberExecution:
+    """Per-advancement bridge between the GVM and Vinz.
+
+    Attached to the VM as ``vm.vinz`` while a fiber runs; every
+    distribution intrinsic goes through here.
+    """
+
+    def __init__(self, service: WorkflowService, ctx: OperationContext,
+                 task: TaskRecord, fiber: FiberRecord, vm):
+        self.service = service
+        self.ctx = ctx
+        self.task = task
+        self.fiber = fiber
+        self.vm = vm
+
+    # -- fiber management -----------------------------------------------------
+
+    def fork(self, fn: GozerFunction, args: List[Any],
+             notify_parent: bool) -> str:
+        """fork-and-exec: clone state into a child fiber (Section 3.4).
+
+        The clone is effected by serializing the closure: the child gets
+        an independent copy of everything ``fn`` captures, so "changes
+        either fiber makes will not be visible to its clone".
+        """
+        vinz = self.service.vinz
+        child = vinz.registry.new_fiber(self.task, self.ctx.now,
+                                        parent_id=self.fiber.id,
+                                        notify_parent=notify_parent)
+        blob = self.service.codec.dumps((fn, list(args)))
+        self.ctx.charge(vinz.store.write(
+            self.service._thunk_key(child.id), blob))
+        self.ctx.trace("fiber-fork", task=self.task.id,
+                       fiber=self.fiber.id, child=child.id)
+        vinz.monitor_fiber_started(child, self.ctx.now)
+        self.ctx.send(self.service.name, "RunFiber",
+                      {"fiber": child.id, "task": self.task.id},
+                      priority=self.service.vinz.message_priority(
+                          self.task, PRIORITY_NORMAL),
+                      max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+        return child.id
+
+    def fork_chain(self, fn: GozerFunction, items: List[Any]) -> str:
+        """The sibling-chaining spawn strategy (Section 5 future work).
+
+        All child fiber records are created up front; only ``spawn
+        limit`` RunFibers are enqueued.  As each child finishes it
+        launches the next pending sibling *directly* — "it could simply
+        spawn whatever sibling fiber is next without involving the
+        parent" — and only the last completion awakens the parent, so a
+        fan-out of N children costs one parent wake-up instead of N.
+        Returns the chain group id; collect with ``%vinz-collect-chain``.
+        """
+        vinz = self.service.vinz
+        children: List[str] = []
+        for item in items:
+            child = vinz.registry.new_fiber(self.task, self.ctx.now,
+                                            parent_id=self.fiber.id,
+                                            notify_parent=False)
+            blob = self.service.codec.dumps((fn, [item]))
+            self.ctx.charge(vinz.store.write(
+                self.service._thunk_key(child.id), blob))
+            vinz.monitor_fiber_started(child, self.ctx.now)
+            children.append(child.id)
+        group_id = f"chain:{self.fiber.id}:{len(self.task.chain_groups)}"
+        limit = max(1, self.spawn_limit())
+        pending = children[limit:]
+        self.task.chain_groups[group_id] = {
+            "parent": self.fiber.id,
+            "children": children,
+            "pending": pending,
+            "remaining": len(children),
+        }
+        for child_id in children:
+            vinz.registry.fibers[child_id].chain_group = group_id
+        for child_id in children[:limit]:
+            self.ctx.send(self.service.name, "RunFiber",
+                          {"fiber": child_id, "task": self.task.id},
+                          priority=self.service.vinz.message_priority(
+                              self.task, PRIORITY_NORMAL),
+                          max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+        self.ctx.trace("chain-fork", task=self.task.id,
+                       fiber=self.fiber.id, children=len(children),
+                       launched=min(limit, len(children)))
+        if not children:
+            # empty chain: awaken the parent immediately
+            self.ctx.send(self.service.name, "AwakeFiber",
+                          {"fiber": self.fiber.id, "child": None},
+                          priority=PRIORITY_LOW,
+                          max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+        return group_id
+
+    def collect_chain(self, vm, group_id: str) -> List[Any]:
+        group = self.task.chain_groups.get(group_id)
+        if group is None:
+            raise GozerRuntimeError(f"no chain group {group_id}")
+        return self.collect_results(vm, group["children"])
+
+    def collect_results(self, vm, child_ids: List[str]) -> List[Any]:
+        """Gather child results in order; signal on failed children."""
+        results: List[Any] = []
+        registry = self.service.vinz.registry
+        for child_id in child_ids:
+            child = registry.fibers.get(child_id)
+            if child is None:
+                raise GozerRuntimeError(f"no such child fiber {child_id}")
+            if child.status == COMPLETED:
+                results.append(child.result)
+            elif child.status in (ERROR, TERMINATED):
+                condition = GozerCondition(
+                    message=child.error or child.status,
+                    condition_type="child-fiber-error",
+                    data=child_id)
+                vm.signal(condition, error_p=True)
+            else:
+                raise GozerRuntimeError(
+                    f"collect-child-results: child {child_id} still "
+                    f"{child.status} (missing yield discipline?)")
+        return results
+
+    def join_sync(self, pid: str) -> Any:
+        """join-process from a background thread (Section 3.4).
+
+        In the discrete-event simulation a background thread cannot
+        block while virtual time advances, so this succeeds only when
+        the target already finished.
+        """
+        registry = self.service.vinz.registry
+        record = registry.fibers.get(pid) or registry.tasks.get(pid)
+        if record is None:
+            raise GozerRuntimeError(f"join-process: no such process {pid}")
+        if record.finished:
+            return record.result
+        raise GozerRuntimeError(
+            "join-process from a background thread on an unfinished "
+            "process: unsupported in discrete-event simulation mode")
+
+    def awake(self, pid: str, payload: Any) -> None:
+        self.ctx.send(self.service.name, "AwakeFiber",
+                      {"fiber": pid, "result": payload},
+                      priority=PRIORITY_LOW,
+                      max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+
+    def send_fiber_message(self, pid: str, value: Any) -> None:
+        """Lightweight cross-process communication (the Section 5
+        wish: cheaper than task variables for point-to-point data)."""
+        self.ctx.send(self.service.name, "DeliverMessage",
+                      {"fiber": pid, "value": value},
+                      max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+        self.service.vinz.counters.incr("mailbox.sent")
+
+    def auto_chunk_size(self) -> int:
+        """Pick a chunk size from measured child durations (Section 5:
+        "dynamically optimize chunk sizes based on the processing time
+        of the body").
+
+        Uses this fiber's most recent completed children (the probe
+        phase) as the per-item cost sample; sizes chunks so each takes
+        roughly ``auto_chunk_target`` simulated seconds.
+        """
+        registry = self.service.vinz.registry
+        durations = [
+            child.total_charged
+            for child in (registry.fibers[cid]
+                          for cid in self.task.fiber_ids
+                          if registry.fibers[cid].parent_id == self.fiber.id)
+            if child.finished and child.total_charged > 0
+        ]
+        if not durations:
+            return 1
+        recent = durations[-4:]
+        avg = max(sum(recent) / len(recent), 1e-6)
+        size = int(self.service.auto_chunk_target / avg)
+        chosen = max(1, min(size, 64))
+        self.service.vinz.counters.incr("autochunk.decisions")
+        self.ctx.trace("auto-chunk", task=self.task.id,
+                       fiber=self.fiber.id, avg_item=round(avg, 4),
+                       size=chosen)
+        return chosen
+
+    def try_receive(self) -> Any:
+        """Pop a pending mailbox message, or the no-message keyword."""
+        from ..lang.symbols import Keyword
+
+        if self.fiber.mailbox:
+            return self.fiber.mailbox.pop(0)
+        return Keyword("%vinz-no-message")
+
+    # -- spawn limit ----------------------------------------------------------
+
+    def spawn_limit(self) -> int:
+        if self.task.spawn_limit is not None:
+            return self.task.spawn_limit
+        return self.service.default_spawn_limit
+
+    def set_spawn_limit(self, n: int) -> int:
+        self.task.spawn_limit = max(1, n)
+        return self.task.spawn_limit
+
+    # -- task variables (Section 3.6) ----------------------------------------
+
+    def get_task_var(self, name: str) -> Any:
+        """Read-through to the store: "will always see the latest value"."""
+        vinz = self.service.vinz
+        key = self.service._task_var_key(self.task.id, name)
+        vinz.counters.incr("taskvar.reads")
+        if vinz.store.exists(key):
+            blob = vinz.store.read(key)
+            self.ctx.charge(vinz.store.cost(len(blob)))
+            return pickle.loads(blob)
+        if name not in self.service.task_var_defaults:
+            raise GozerRuntimeError(f"undeclared task variable ^{name}^")
+        return self.service.task_var_defaults[name]
+
+    def set_task_var(self, name: str, value: Any) -> Any:
+        """Locked write: the paper's "very high synchronization
+        overhead for mutation"."""
+        vinz = self.service.vinz
+        if name not in self.service.task_var_defaults:
+            raise GozerRuntimeError(f"undeclared task variable ^{name}^")
+        key = self.service._task_var_key(self.task.id, name)
+        owner = f"{self.ctx.instance.id}#{self.ctx.message.id}"
+        lock_key = f"taskvar/{self.task.id}/{name}"
+        spins = 0
+        while not vinz.locks.try_acquire(lock_key, owner):
+            # with NFS-style file locks, a just-released lock may still
+            # look held (attribute caching): model a blocking wait for
+            # the visibility window instead of spinning the host CPU
+            remaining = getattr(vinz.locks, "stale_visibility_remaining",
+                                lambda _k: 0.0)(lock_key)
+            if remaining > 0:
+                self.ctx.charge(remaining)
+                vinz.locks.expire_visibility(lock_key)
+                continue
+            spins += 1
+            self.ctx.charge(0.001)
+            if spins > 1000:  # pragma: no cover - defensive
+                raise GozerRuntimeError(
+                    f"task variable lock {lock_key} appears stuck "
+                    f"(held by {vinz.locks.holder(lock_key)})")
+        try:
+            blob = pickle.dumps(value)
+            self.ctx.charge(vinz.store.write(key, blob)
+                            + vinz.taskvar_lock_overhead)
+            vinz.counters.incr("taskvar.writes")
+        finally:
+            vinz.locks.release(lock_key, owner)
+        return value
+
+    # -- service calls ----------------------------------------------------------
+
+    def call_sync(self, soap_action: str, values: Dict[str, Any]) -> Dict[str, Any]:
+        service_name, operation = self.service.vinz.resolve_soap_action(
+            soap_action)
+        envelope = self.ctx.cluster.call_inline(service_name, operation,
+                                                dict(values),
+                                                parent_context=self.ctx)
+        if envelope.duration is not None:
+            self.service.vinz.record_service_latency(soap_action,
+                                                     envelope.duration)
+        return envelope.to_body()
+
+    # -- misc ----------------------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        self.ctx.charge(seconds)

@@ -1,0 +1,162 @@
+"""Synthetic workload generation primitives.
+
+The paper's evaluation is its production deployment (Section 5); since
+that trace is proprietary, these generators synthesize workloads that
+match the aggregate statistics the paper reports.  All randomness is
+seeded for reproducibility.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..lang.symbols import Keyword
+
+
+@dataclass
+class TaskSpec:
+    """One synthetic task: head work, then an optional distributed map.
+
+    ``total_compute`` is the serial work the task represents (what the
+    paper sums into "about 190 hours" per day).
+    """
+
+    arrival: float
+    head_seconds: float
+    child_seconds: List[float] = field(default_factory=list)
+    service_calls: int = 0
+
+    @property
+    def total_compute(self) -> float:
+        return self.head_seconds + sum(self.child_seconds)
+
+    @property
+    def fiber_count(self) -> int:
+        return 1 + len(self.child_seconds)
+
+    def to_params(self):
+        """Encode as the plist params of the generic batch workflow."""
+        return [Keyword("head-seconds"), self.head_seconds,
+                Keyword("chunks"), list(self.child_seconds),
+                Keyword("service-calls"), self.service_calls]
+
+
+class LogNormalDuration:
+    """A clipped log-normal duration model.
+
+    Calibrated so that durations span the paper's range (20 ms to 12
+    hours) with the configured mean: heavy-tailed, like production batch
+    workloads.
+    """
+
+    def __init__(self, mean_seconds: float, sigma: float = 2.0,
+                 minimum: float = 0.02, maximum: float = 12 * 3600.0):
+        if mean_seconds <= 0:
+            raise ValueError("mean must be positive")
+        self.sigma = sigma
+        self.mu = math.log(mean_seconds) - sigma * sigma / 2.0
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def sample(self, rng: random.Random) -> float:
+        value = rng.lognormvariate(self.mu, self.sigma)
+        return min(max(value, self.minimum), self.maximum)
+
+
+class PoissonArrivals:
+    """Task arrival times: a Poisson process over a period."""
+
+    def __init__(self, count: int, period: float):
+        self.count = count
+        self.period = period
+
+    def sample(self, rng: random.Random) -> List[float]:
+        arrivals = sorted(rng.uniform(0.0, self.period)
+                          for _ in range(self.count))
+        return arrivals
+
+
+@dataclass
+class WorkloadProfile:
+    """Knobs describing a synthetic task population."""
+
+    #: mean total compute per task, seconds
+    mean_task_seconds: float = 68.4
+    #: log-normal spread
+    sigma: float = 2.0
+    #: fraction of tasks that fan out with for-each
+    fanout_fraction: float = 0.6
+    #: mean children per fanning-out task, chosen so the population
+    #: averages the paper's ~4.5 fibers/task
+    mean_children: float = 6.0
+    #: fraction of a fanning task's work done in the children
+    child_work_fraction: float = 0.8
+    #: mean non-blocking service calls per task
+    mean_service_calls: float = 1.0
+    duration_min: float = 0.02
+    duration_max: float = 12 * 3600.0
+
+
+def generate_tasks(count: int, period: float, seed: int = 0,
+                   profile: Optional[WorkloadProfile] = None) -> List[TaskSpec]:
+    """Generate ``count`` task specs arriving over ``period`` seconds."""
+    profile = profile or WorkloadProfile()
+    rng = random.Random(seed)
+    durations = LogNormalDuration(profile.mean_task_seconds,
+                                  sigma=profile.sigma,
+                                  minimum=profile.duration_min,
+                                  maximum=profile.duration_max)
+    arrivals = PoissonArrivals(count, period).sample(rng)
+    specs: List[TaskSpec] = []
+    for arrival in arrivals:
+        total = durations.sample(rng)
+        service_calls = min(rng.poissonvariate(profile.mean_service_calls)
+                            if hasattr(rng, "poissonvariate")
+                            else _poisson(rng, profile.mean_service_calls), 5)
+        if rng.random() < profile.fanout_fraction and total > 1.0:
+            children = max(1, _poisson(rng, profile.mean_children))
+            child_total = total * profile.child_work_fraction
+            weights = [rng.random() + 0.1 for _ in range(children)]
+            wsum = sum(weights)
+            child_seconds = [child_total * w / wsum for w in weights]
+            head = total - child_total
+        else:
+            child_seconds = []
+            head = total
+        specs.append(TaskSpec(arrival=arrival, head_seconds=head,
+                              child_seconds=child_seconds,
+                              service_calls=service_calls))
+    return specs
+
+
+def _poisson(rng: random.Random, lam: float) -> int:
+    """Knuth's Poisson sampler (random.Random has no built-in)."""
+    if lam <= 0:
+        return 0
+    limit = math.exp(-lam)
+    k = 0
+    product = rng.random()
+    while product > limit:
+        k += 1
+        product *= rng.random()
+    return k
+
+
+def workload_statistics(specs: List[TaskSpec]) -> Dict[str, float]:
+    """Aggregate statistics in the paper's Section 5 terms."""
+    if not specs:
+        return {}
+    computes = [s.total_compute for s in specs]
+    fibers = sum(s.fiber_count for s in specs)
+    return {
+        "tasks": len(specs),
+        "fibers": fibers,
+        "fibers_per_task": fibers / len(specs),
+        "min_seconds": min(computes),
+        "max_seconds": max(computes),
+        "mean_seconds": sum(computes) / len(computes),
+        "serial_hours": sum(computes) / 3600.0,
+    }

@@ -1,0 +1,135 @@
+"""Discrete-event kernel tests."""
+
+import pytest
+
+from repro.bluebox.clock import RealClock, SimKernel, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now() == 0.0
+
+    def test_custom_start(self):
+        assert VirtualClock(10.0).now() == 10.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock._advance_to(5.0)
+        assert clock.now() == 5.0
+
+    def test_no_time_travel(self):
+        clock = VirtualClock(5.0)
+        with pytest.raises(ValueError):
+            clock._advance_to(4.0)
+
+
+class TestRealClock:
+    def test_monotonic(self):
+        clock = RealClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+
+class TestSimKernel:
+    def test_events_run_in_time_order(self):
+        kernel = SimKernel()
+        order = []
+        kernel.schedule(3.0, lambda: order.append("c"))
+        kernel.schedule(1.0, lambda: order.append("a"))
+        kernel.schedule(2.0, lambda: order.append("b"))
+        kernel.run_until_idle()
+        assert order == ["a", "b", "c"]
+
+    def test_simultaneous_events_fifo(self):
+        kernel = SimKernel()
+        order = []
+        for i in range(5):
+            kernel.schedule(1.0, lambda i=i: order.append(i))
+        kernel.run_until_idle()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_priority_breaks_ties(self):
+        kernel = SimKernel()
+        order = []
+        kernel.schedule(1.0, lambda: order.append("low"), priority=9)
+        kernel.schedule(1.0, lambda: order.append("high"), priority=1)
+        kernel.run_until_idle()
+        assert order == ["high", "low"]
+
+    def test_clock_advances_to_event_time(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule(2.5, lambda: seen.append(kernel.now))
+        final = kernel.run_until_idle()
+        assert seen == [2.5]
+        assert final == 2.5
+
+    def test_events_can_schedule_events(self):
+        kernel = SimKernel()
+        order = []
+
+        def first():
+            order.append("first")
+            kernel.schedule(1.0, lambda: order.append("second"))
+
+        kernel.schedule(1.0, first)
+        kernel.run_until_idle()
+        assert order == ["first", "second"]
+        assert kernel.now == 2.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SimKernel().schedule(-1, lambda: None)
+
+    def test_run_until_predicate(self):
+        kernel = SimKernel()
+        hits = []
+        for i in range(10):
+            kernel.schedule(float(i + 1), lambda i=i: hits.append(i))
+        satisfied = kernel.run_until(lambda: len(hits) >= 3)
+        assert satisfied
+        assert len(hits) == 3
+        assert kernel.now == 3.0
+        # remaining events still pending
+        assert kernel.pending() == 7
+
+    def test_run_until_deadline(self):
+        kernel = SimKernel()
+        kernel.schedule(100.0, lambda: None)
+        satisfied = kernel.run_until(lambda: False, deadline=10.0)
+        assert not satisfied
+        assert kernel.pending() == 1  # event requeued, not lost
+
+    def test_run_until_exhaustion_returns_predicate(self):
+        kernel = SimKernel()
+        kernel.schedule(1.0, lambda: None)
+        assert kernel.run_until(lambda: False) is False
+
+    def test_schedule_at(self):
+        kernel = SimKernel()
+        seen = []
+        kernel.schedule_at(5.0, lambda: seen.append(kernel.now))
+        kernel.run_until_idle()
+        assert seen == [5.0]
+
+    def test_event_limit_guards_livelock(self):
+        kernel = SimKernel()
+        kernel.max_events = 100
+
+        def forever():
+            kernel.schedule(1.0, forever)
+
+        kernel.schedule(1.0, forever)
+        with pytest.raises(RuntimeError):
+            kernel.run_until_idle()
+
+    def test_no_reentrancy(self):
+        kernel = SimKernel()
+
+        def reenter():
+            kernel.run_until_idle()
+
+        kernel.schedule(1.0, reenter)
+        with pytest.raises(RuntimeError):
+            kernel.run_until_idle()

@@ -1,0 +1,133 @@
+"""WSDL document and XML message tests (paper Sections 1 and 3.3)."""
+
+from repro.bluebox.wsdl import WsdlDocument, WsdlOperation, WsdlParameter
+from repro.bluebox.xmlmsg import (
+    ServiceMessage,
+    XmlElement,
+    element_to_value,
+    parse_qname,
+    qname,
+    value_to_element,
+)
+from repro.lang.symbols import Keyword, Symbol
+
+
+class TestQNames:
+    def test_build(self):
+        assert qname("urn:svc", "Op") == "{urn:svc}Op"
+
+    def test_parse(self):
+        assert parse_qname("{urn:svc}Op") == ("urn:svc", "Op")
+
+    def test_parse_no_namespace(self):
+        assert parse_qname("Op") == (None, "Op")
+
+    def test_empty_namespace(self):
+        assert qname("", "Op") == "Op"
+
+
+class TestXmlElement:
+    def test_xml_round_trip(self):
+        el = XmlElement("root", {"a": "1"}, [
+            XmlElement("child", text="hello"),
+            XmlElement("empty"),
+        ])
+        clone = XmlElement.from_xml(el.to_xml())
+        assert clone == el
+
+    def test_child_lookup(self):
+        el = XmlElement("r", children=[XmlElement("{ns}x", text="v")])
+        assert el.child("x").text == "v"
+        assert el.child("missing") is None
+
+
+class TestValueEncoding:
+    CASES = [
+        None,
+        True,
+        False,
+        42,
+        -3.5,
+        "text",
+        Symbol("sym"),
+        Keyword("kw"),
+        [1, 2, 3],
+        {"a": 1, "b": [True, None]},
+        [{"nested": {"deep": "x"}}],
+        [],
+        {},
+    ]
+
+    def test_round_trips(self):
+        for value in self.CASES:
+            el = value_to_element("v", value)
+            # through actual XML text, not just the object model
+            el2 = XmlElement.from_xml(el.to_xml())
+            assert element_to_value(el2) == value, value
+
+
+class TestServiceMessage:
+    def test_set_get(self):
+        msg = ServiceMessage("ListSessions")
+        msg.set("FilterParams", {"realm": "x"})
+        assert msg.get("FilterParams") == {"realm": "x"}
+        assert msg.get("Missing", "dflt") == "dflt"
+
+    def test_xml_round_trip(self):
+        msg = ServiceMessage("Op", {"A": 1, "B": ["x", "y"]})
+        clone = ServiceMessage.from_xml(msg.to_xml())
+        assert clone == msg
+
+    def test_interop_from_gozer(self, rt):
+        """Workflow code manipulates messages via interop — Listing 2's
+        (. msg (set "FilterParams" FilterParams))."""
+        from repro.lang.symbols import Symbol as S
+
+        rt.global_env.define(S("make-msg"), lambda: ServiceMessage("Op"))
+        result = rt.eval_string("""
+            (let ((msg (make-msg)))
+              (. msg (set "X" 42))
+              (. msg (get "X")))""")
+        assert result == 42
+
+
+class TestWsdlDocument:
+    def make_wsdl(self):
+        wsdl = WsdlDocument(service="SecurityManager",
+                            namespace="urn:security-manager-service",
+                            port="SecurityManager",
+                            doc="Manages sessions.")
+        wsdl.add_operation(WsdlOperation(
+            name="ListSessions",
+            doc="Returns a list of sessions visible to the caller.",
+            parameters=[WsdlParameter("FilterParams", "map"),
+                        WsdlParameter("WithinRealm", "string")],
+            faults=["{urn:security-manager-service}Denied"]))
+        wsdl.add_operation(WsdlOperation(name="NativeOnly", bridgeable=False))
+        return wsdl
+
+    def test_soap_action_defaulted(self):
+        wsdl = self.make_wsdl()
+        assert wsdl.operations["ListSessions"].soap_action == \
+            "urn:security-manager-service:ListSessions"
+
+    def test_xml_round_trip_preserves_everything(self):
+        wsdl = self.make_wsdl()
+        clone = WsdlDocument.from_xml(wsdl.to_xml())
+        assert clone.service == wsdl.service
+        assert clone.namespace == wsdl.namespace
+        assert clone.doc == "Manages sessions."
+        op = clone.operations["ListSessions"]
+        assert op.doc.startswith("Returns a list")
+        assert [p.name for p in op.parameters] == ["FilterParams", "WithinRealm"]
+        assert op.faults == ["{urn:security-manager-service}Denied"]
+        assert clone.operations["NativeOnly"].bridgeable is False
+
+    def test_fault_qname_helper(self):
+        wsdl = self.make_wsdl()
+        assert wsdl.fault_qname("X") == "{urn:security-manager-service}X"
+
+    def test_parameter_names(self):
+        wsdl = self.make_wsdl()
+        assert wsdl.operations["ListSessions"].parameter_names() == \
+            ["FilterParams", "WithinRealm"]

@@ -1,0 +1,35 @@
+"""Shared fixtures for the Gozer reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gvm.runtime import Runtime, make_runtime
+from repro.vinz.api import VinzEnvironment
+
+
+@pytest.fixture
+def rt() -> Runtime:
+    """A deterministic runtime (synchronous futures)."""
+    runtime = make_runtime(deterministic=True)
+    yield runtime
+    runtime.shutdown()
+
+
+@pytest.fixture
+def threaded_rt() -> Runtime:
+    """A runtime with a real thread-pool future executor."""
+    runtime = make_runtime(deterministic=False, max_workers=4)
+    yield runtime
+    runtime.shutdown()
+
+
+@pytest.fixture
+def vinz() -> VinzEnvironment:
+    """A 4-node Vinz environment with default settings."""
+    return VinzEnvironment(nodes=4, seed=42)
+
+
+def ev(runtime: Runtime, text: str):
+    """Evaluate Gozer source, returning the last value."""
+    return runtime.eval_string(text)

@@ -1,0 +1,273 @@
+"""Condition system tests (paper Section 3.7)."""
+
+import pytest
+
+from repro.gvm.conditions import (
+    GozerCondition,
+    UnhandledConditionError,
+    coerce_condition,
+    condition_type_matches,
+    define_condition_type,
+    matches,
+)
+from repro.lang.symbols import Keyword, Symbol
+
+S = Symbol
+K = Keyword
+
+
+class TestMatching:
+    def test_type_hierarchy(self):
+        assert condition_type_matches("division-by-zero", "arithmetic-error")
+        assert condition_type_matches("division-by-zero", "error")
+        assert condition_type_matches("error", "condition")
+        assert not condition_type_matches("warning", "error")
+
+    def test_symbol_spec_matches_condition(self):
+        cond = GozerCondition("m", condition_type="network-error")
+        assert matches(S("error"), cond)
+        assert matches(S("service-error"), cond)
+        assert not matches(S("warning"), cond)
+
+    def test_t_matches_everything(self):
+        assert matches(True, GozerCondition("x"))
+        assert matches(S("t"), ValueError("x"))
+
+    def test_qname_spec(self):
+        cond = GozerCondition("m", qname="{urn:svc}Connect")
+        assert matches("{urn:svc}Connect", cond)
+        assert not matches("{urn:svc}Other", cond)
+
+    def test_java_class_alias(self):
+        assert matches("java.lang.Throwable", ValueError("x"))
+        assert matches("java.net.SocketException", ConnectionResetError())
+        assert not matches("java.net.SocketException", ValueError("x"))
+
+    def test_python_builtin_class_name(self):
+        assert matches("ValueError", ValueError("x"))
+        assert not matches("ValueError", KeyError("x"))
+
+    def test_dotted_python_path(self):
+        assert matches("repro.gvm.conditions.GozerCondition",
+                       GozerCondition("x"))
+
+    def test_list_spec_any_match(self):
+        cond = GozerCondition("m", condition_type="timeout-error")
+        assert matches([S("network-error"), S("timeout-error")], cond)
+        assert not matches([S("warning")], cond)
+
+    def test_wrapped_exception_matches_host_class(self):
+        cond = coerce_condition(ConnectionError("reset"))
+        assert matches("java.net.SocketException", cond)
+
+    def test_custom_condition_type(self):
+        define_condition_type("my-error", ["service-error"])
+        cond = GozerCondition("m", condition_type="my-error")
+        assert matches(S("service-error"), cond)
+        assert matches(S("error"), cond)
+
+
+class TestCoercion:
+    def test_zero_division_mapped(self):
+        cond = coerce_condition(ZeroDivisionError("x"))
+        assert cond.condition_type == "division-by-zero"
+
+    def test_type_error_mapped(self):
+        assert coerce_condition(TypeError("x")).condition_type == "type-error"
+
+    def test_passthrough(self):
+        original = GozerCondition("m")
+        assert coerce_condition(original) is original
+
+
+class TestSignalAndHandlers:
+    def test_signal_without_handler_returns_nil(self, rt):
+        assert rt.eval_string('(signal "nobody cares")') is None
+
+    def test_error_without_handler_raises(self, rt):
+        with pytest.raises(UnhandledConditionError):
+            rt.eval_string('(error "boom")')
+
+    def test_error_with_format_args(self, rt):
+        with pytest.raises(UnhandledConditionError) as exc_info:
+            rt.eval_string('(error "bad value ~a" 42)')
+        assert "bad value 42" in str(exc_info.value)
+
+    def test_handler_bind_runs_without_unwinding(self, rt):
+        """A handler that declines lets execution continue after signal."""
+        assert rt.eval_string("""
+            (let ((seen (list)))
+              (handler-bind ((error (lambda (c) (append! seen :handled))))
+                (signal (make-condition "error" "m"))
+                (append! seen :continued))
+              seen)""") == [K("handled"), K("continued")]
+
+    def test_handler_case_unwinds(self, rt):
+        assert rt.eval_string("""
+            (handler-case (progn (error "x") :never)
+              (error (c) :caught))""") == K("caught")
+
+    def test_handler_case_passes_condition(self, rt):
+        assert rt.eval_string("""
+            (handler-case (error "the message")
+              (error (c) (condition-message c)))""") == "the message"
+
+    def test_handler_case_type_filtering(self, rt):
+        assert rt.eval_string("""
+            (handler-case (signal (make-condition "warning" "w"))
+              (warning (c) :warned))""") == K("warned")
+
+    def test_inner_handler_wins(self, rt):
+        assert rt.eval_string("""
+            (handler-case
+              (handler-case (error "x")
+                (error (c) :inner))
+              (error (c) :outer))""") == K("inner")
+
+    def test_handler_decline_falls_through(self, rt):
+        """An inner handler-bind that returns normally declines, so the
+        outer handler-case gets its turn."""
+        assert rt.eval_string("""
+            (handler-case
+              (handler-bind ((error (lambda (c) nil)))  ; declines
+                (error "x"))
+              (error (c) :outer))""") == K("outer")
+
+    def test_handler_not_reentrant(self, rt):
+        """A handler runs with itself unbound (no infinite regress)."""
+        assert rt.eval_string("""
+            (handler-case
+              (handler-bind ((error (lambda (c) (error "again"))))
+                (error "first"))
+              (error (c) (condition-message c)))""") == "again"
+
+    def test_python_exception_becomes_condition(self, rt):
+        assert rt.eval_string("""
+            (handler-case (/ 1 0)
+              (division-by-zero (c) :div0))""") == K("div0")
+
+    def test_unbound_variable_condition(self, rt):
+        assert rt.eval_string("""
+            (handler-case some-unbound-name
+              (unbound-variable (c) :unbound))""") == K("unbound")
+
+    def test_warn_returns_nil(self, rt, capsys):
+        assert rt.eval_string('(warn "careful")') is None
+        assert "careful" in capsys.readouterr().err
+
+
+class TestRestarts:
+    def test_restart_case_normal_path(self, rt):
+        assert rt.eval_string("""
+            (restart-case 42 (ignore () :ignored))""") == 42
+
+    def test_invoke_restart_from_handler(self, rt):
+        assert rt.eval_string("""
+            (handler-bind ((error (lambda (c) (invoke-restart 'use-value 7))))
+              (restart-case (error "x")
+                (use-value (v) (* v 2))))""") == 14
+
+    def test_restart_with_no_args(self, rt):
+        assert rt.eval_string("""
+            (handler-bind ((error (lambda (c) (invoke-restart 'ignore))))
+              (restart-case (error "x")
+                (ignore () :skipped)))""") == K("skipped")
+
+    def test_innermost_restart_wins(self, rt):
+        assert rt.eval_string("""
+            (handler-bind ((error (lambda (c) (invoke-restart 'r))))
+              (restart-case
+                  (restart-case (error "x") (r () :inner))
+                (r () :outer)))""") == K("inner")
+
+    def test_restart_scope_exits(self, rt):
+        """A restart is deactivated once its restart-case returns."""
+        assert rt.eval_string("""
+            (progn
+              (restart-case 1 (r () :r))
+              (find-restart 'r))""") is None
+
+    def test_find_restart(self, rt):
+        assert rt.eval_string("""
+            (restart-case (if (find-restart 'here) :found :missing)
+              (here () nil))""") == K("found")
+
+    def test_compute_restarts(self, rt):
+        assert rt.eval_string("""
+            (restart-case (compute-restarts)
+              (a () nil)
+              (b () nil))""") == [S("b"), S("a")]
+
+    def test_invoke_missing_restart_errors(self, rt):
+        with pytest.raises(UnhandledConditionError):
+            rt.eval_string("(invoke-restart 'nonexistent)")
+
+    def test_retry_restart_loop(self, rt):
+        """The paper's retry pattern: transient failures retried without
+        an explicit loop (Listing 2 / Section 3.7)."""
+        rt.eval_string("""
+            (setq attempts 0)
+            (defun flaky ()
+              (restart-case
+                  (progn
+                    (setq attempts (+ attempts 1))
+                    (if (< attempts 3) (error "transient") :ok))
+                (retry () (flaky))))""")
+        assert rt.eval_string("""
+            (handler-bind ((error (lambda (c) (invoke-restart 'retry))))
+              (flaky))""") == K("ok")
+        assert rt.eval_string("attempts") == 3
+
+    def test_unwind_protect_runs_during_restart_transfer(self, rt):
+        assert rt.eval_string("""
+            (let ((trace (list)))
+              (handler-bind ((error (lambda (c) (invoke-restart 'r))))
+                (restart-case
+                    (unwind-protect (error "x")
+                      (append! trace :cleanup))
+                  (r () (append! trace :restart))))
+              trace)""") == [K("cleanup"), K("restart")]
+
+
+class TestUnwindProtect:
+    def test_normal_path_runs_cleanup(self, rt):
+        assert rt.eval_string("""
+            (let ((trace (list)))
+              (unwind-protect (append! trace :body)
+                (append! trace :cleanup))
+              trace)""") == [K("body"), K("cleanup")]
+
+    def test_value_is_protected_form(self, rt):
+        assert rt.eval_string("(unwind-protect 42 1 2 3)") == 42
+
+    def test_cleanup_on_error(self, rt):
+        assert rt.eval_string("""
+            (let ((trace (list)))
+              (ignore-errors
+                (unwind-protect (error "x") (append! trace :cleanup)))
+              trace)""") == [K("cleanup")]
+
+    def test_cleanup_on_return_from(self, rt):
+        assert rt.eval_string("""
+            (let ((trace (list)))
+              (block b
+                (unwind-protect (return-from b 1)
+                  (append! trace :cleanup)))
+              trace)""") == [K("cleanup")]
+
+    def test_nested_cleanups_inner_first(self, rt):
+        assert rt.eval_string("""
+            (let ((trace (list)))
+              (block b
+                (unwind-protect
+                    (unwind-protect (return-from b 1)
+                      (append! trace :inner))
+                  (append! trace :outer)))
+              trace)""") == [K("inner"), K("outer")]
+
+    def test_cleanup_on_unhandled_error_to_host(self, rt):
+        rt.eval_string("(setq cleanup-ran nil)")
+        with pytest.raises(UnhandledConditionError):
+            rt.eval_string("""
+                (unwind-protect (error "boom") (setq cleanup-ran t))""")
+        assert rt.eval_string("cleanup-ran") is True

@@ -1,0 +1,96 @@
+"""Special (dynamic) variable tests."""
+
+import pytest
+
+from repro.gvm.environment import DynamicBindings, _MISSING
+from repro.lang.symbols import Symbol
+
+S = Symbol
+
+
+class TestDefvar:
+    def test_defvar_defines_global(self, rt):
+        rt.eval_string("(defvar *g* 5)")
+        assert rt.eval_string("*g*") == 5
+
+    def test_defvar_keeps_existing_value(self, rt):
+        rt.eval_string("(defvar *g* 1)")
+        rt.eval_string("(defvar *g* 2)")
+        assert rt.eval_string("*g*") == 1
+
+    def test_defparameter_overwrites(self, rt):
+        rt.eval_string("(defparameter *p* 1)")
+        rt.eval_string("(defparameter *p* 2)")
+        assert rt.eval_string("*p*") == 2
+
+    def test_defvar_declares_special(self, rt):
+        rt.eval_string("(defvar *sp* 0)")
+        assert rt.global_env.is_special(S("*sp*"))
+
+
+class TestDynamicScoping:
+    def test_let_rebinds_dynamically(self, rt):
+        """A let of a special variable is visible to callees — the
+        defining property of dynamic scope."""
+        rt.eval_string("""
+            (defvar *depth* 0)
+            (defun get-depth () *depth*)""")
+        assert rt.eval_string("(let ((*depth* 7)) (get-depth))") == 7
+        assert rt.eval_string("(get-depth)") == 0
+
+    def test_nested_rebinding(self, rt):
+        rt.eval_string("(defvar *lvl* 0) (defun lvl () *lvl*)")
+        assert rt.eval_string("""
+            (let ((*lvl* 1))
+              (list (lvl) (let ((*lvl* 2)) (lvl)) (lvl)))""") == [1, 2, 1]
+
+    def test_setq_on_dynamic_binding(self, rt):
+        rt.eval_string("(defvar *v* :global)")
+        assert rt.eval_string("""
+            (let ((*v* :bound))
+              (setq *v* :mutated)
+              *v*)""") == rt.read(":mutated")
+        # global untouched
+        assert rt.eval_string("*v*") == rt.read(":global")
+
+    def test_unwound_on_error(self, rt):
+        rt.eval_string("(defvar *e* :outer) (defun get-e () *e*)")
+        assert rt.eval_string("""
+            (ignore-errors (let ((*e* :inner)) (error "x")))
+            (get-e)""") == rt.read(":outer")
+
+    def test_survives_yield_resume(self, rt):
+        rt.eval_string("(defvar *w* :default) (defun get-w () *w*)")
+        result = rt.start("""
+            (let ((*w* :in-fiber))
+              (yield)
+              (get-w))""")
+        done = rt.resume(result.continuation, None)
+        assert done.value == rt.read(":in-fiber")
+
+
+class TestDynamicBindingsUnit:
+    def test_push_pop(self):
+        d = DynamicBindings()
+        d.push(S("x"), 1)
+        d.push(S("x"), 2)
+        assert d.get(S("x")) == 2
+        d.pop(S("x"))
+        assert d.get(S("x")) == 1
+        d.pop(S("x"))
+        assert d.get(S("x")) is _MISSING
+
+    def test_set_topmost(self):
+        d = DynamicBindings()
+        d.push(S("x"), 1)
+        assert d.set(S("x"), 9)
+        assert d.get(S("x")) == 9
+
+    def test_set_unbound_returns_false(self):
+        assert not DynamicBindings().set(S("y"), 1)
+
+    def test_snapshot(self):
+        d = DynamicBindings()
+        d.push(S("a"), 1)
+        d.push(S("b"), 2)
+        assert d.snapshot() == {S("a"): 1, S("b"): 2}

@@ -1,0 +1,98 @@
+"""Tree-walking interpreter tests + VM differential checks (bench S4c)."""
+
+import pytest
+
+from repro.gvm.interpreter import ContinuationsUnsupported, TreeInterpreter
+from repro.lang.reader import read_string
+
+
+@pytest.fixture
+def interp(rt):
+    return TreeInterpreter(rt.global_env, apply_fn=rt.apply)
+
+
+class TestBasics:
+    def test_constant(self, interp):
+        assert interp.eval(42) == 42
+
+    def test_arithmetic(self, interp):
+        assert interp.eval(read_string("(+ 1 2 3)")) == 6
+
+    def test_let(self, interp):
+        assert interp.eval(read_string("(let ((x 2)) (* x x))")) == 4
+
+    def test_let_star(self, interp):
+        assert interp.eval(read_string("(let* ((x 1) (y (+ x 1))) y)")) == 2
+
+    def test_if(self, interp):
+        assert interp.eval(read_string("(if nil 1 2)")) == 2
+
+    def test_lambda_call(self, interp):
+        assert interp.eval(read_string("((lambda (x) (* 2 x)) 21)")) == 42
+
+    def test_defun_and_recursion(self, interp):
+        interp.eval(read_string(
+            "(defun tfact (n) (if (<= n 1) 1 (* n (tfact (- n 1)))))"))
+        assert interp.eval(read_string("(tfact 6)")) == 720
+
+    def test_while_setq(self, interp):
+        assert interp.eval(read_string("""
+            (let ((i 0) (acc 0))
+              (while (< i 5) (setq acc (+ acc i)) (setq i (+ i 1)))
+              acc)""")) == 10
+
+    def test_block_return_from(self, interp):
+        assert interp.eval(read_string("(block b (return-from b 9) 1)")) == 9
+
+    def test_core_macros_shared(self, interp):
+        assert interp.eval(read_string(
+            "(loop for x in (list 1 2 3) sum x)")) == 6
+
+    def test_and_or(self, interp):
+        assert interp.eval(read_string("(and 1 2)")) == 2
+        assert interp.eval(read_string("(or nil 3)")) == 3
+
+
+class TestLimitations:
+    def test_yield_unsupported(self, interp):
+        """The reason the GVM exists (paper Section 4.1)."""
+        with pytest.raises(ContinuationsUnsupported):
+            interp.eval(read_string("(yield)"))
+
+    def test_push_cc_unsupported(self, interp):
+        with pytest.raises(ContinuationsUnsupported):
+            interp.eval(read_string("(push-cc)"))
+
+    def test_future_unsupported(self, interp):
+        with pytest.raises(ContinuationsUnsupported):
+            interp.eval(read_string("(future 1)"))
+
+
+DIFFERENTIAL_PROGRAMS = [
+    "(+ 1 2 3)",
+    "(* (+ 1 2) (- 10 4))",
+    "(let ((x 5)) (if (> x 3) :big :small))",
+    "(let* ((a 1) (b (+ a 1)) (c (* b b))) (list a b c))",
+    "((lambda (f x) (f (f x))) (lambda (n) (* n n)) 3)",
+    "(loop for i from 1 to 10 sum i)",
+    "(loop for x in (list 1 2 3 4) when (evenp x) collect (* x x))",
+    "(block b (dolist (x (list 1 2 3)) (when (= x 2) (return-from b x))))",
+    "(reverse (append (list 1 2) (list 3)))",
+    "(length (remove 2 (list 1 2 3 2)))",
+    "(cond ((= 1 2) :a) ((= 2 2) :b) (t :c))",
+    "(case (+ 1 1) (1 :one) (2 :two))",
+    '(concat "a" "b")',
+    "(and 1 2 nil 3)",
+    "(or nil nil 7)",
+]
+
+
+class TestDifferential:
+    """Same program, two engines, identical answers (bench S4c's
+    correctness precondition)."""
+
+    @pytest.mark.parametrize("program", DIFFERENTIAL_PROGRAMS)
+    def test_vm_and_interpreter_agree(self, rt, interp, program):
+        vm_value = rt.eval_string(program)
+        tree_value = interp.eval(read_string(program))
+        assert vm_value == tree_value, program

@@ -1,0 +1,304 @@
+"""Core macro tests: expansion shapes and end-to-end behaviour."""
+
+import pytest
+
+from repro.lang.errors import CompileError
+from repro.lang.macros import CORE_MACROS, expand_quasiquote, macroexpand
+from repro.lang.reader import read_string
+from repro.lang.symbols import Keyword, Symbol
+
+S = Symbol
+
+
+class TestConditionalMacros:
+    def test_when_true(self, rt):
+        assert rt.eval_string("(when t 1 2 3)") == 3
+
+    def test_when_false(self, rt):
+        assert rt.eval_string("(when nil 1)") is None
+
+    def test_unless(self, rt):
+        assert rt.eval_string("(unless nil :yes)") == Keyword("yes")
+        assert rt.eval_string("(unless t :yes)") is None
+
+    def test_cond_first_match(self, rt):
+        assert rt.eval_string("""
+            (let ((x 2))
+              (cond ((= x 1) :one)
+                    ((= x 2) :two)
+                    (t :other)))""") == Keyword("two")
+
+    def test_cond_otherwise(self, rt):
+        assert rt.eval_string("(cond (nil 1) (otherwise :def))") == Keyword("def")
+
+    def test_cond_empty(self, rt):
+        assert rt.eval_string("(cond)") is None
+
+    def test_cond_test_only_clause(self, rt):
+        assert rt.eval_string("(cond (nil) (42))") == 42
+
+    def test_case(self, rt):
+        assert rt.eval_string("""
+            (let ((x 2)) (case x (1 :one) ((2 3) :few) (otherwise :many)))
+        """) == Keyword("few")
+
+    def test_case_otherwise(self, rt):
+        assert rt.eval_string("(case 99 (1 :one) (otherwise :other))") == \
+            Keyword("other")
+
+
+class TestSequencingMacros:
+    def test_prog1(self, rt):
+        assert rt.eval_string("""
+            (let ((x 0)) (prog1 x (setq x 9)))""") == 0
+
+    def test_prog2(self, rt):
+        assert rt.eval_string("(prog2 1 2 3)") == 2
+
+
+class TestIterationMacros:
+    def test_dolist(self, rt):
+        assert rt.eval_string("""
+            (let ((acc 0))
+              (dolist (x (list 1 2 3)) (setq acc (+ acc x)))
+              acc)""") == 6
+
+    def test_dolist_result_form(self, rt):
+        assert rt.eval_string(
+            "(let ((n 0)) (dolist (x (list 1 2) n) (setq n (1+ n))))") == 2
+
+    def test_dotimes(self, rt):
+        assert rt.eval_string("""
+            (let ((acc 0)) (dotimes (i 5) (setq acc (+ acc i))) acc)""") == 10
+
+    def test_loop_collect(self, rt):
+        assert rt.eval_string(
+            "(loop for x in (list 1 2 3) collect (* x 10))") == [10, 20, 30]
+
+    def test_loop_when_collect(self, rt):
+        assert rt.eval_string(
+            "(loop for x in (list 1 2 3 4) when (evenp x) collect x)") == [2, 4]
+
+    def test_loop_unless_collect(self, rt):
+        assert rt.eval_string(
+            "(loop for x in (list 1 2 3 4) unless (evenp x) collect x)") == [1, 3]
+
+    def test_loop_sum(self, rt):
+        assert rt.eval_string("(loop for x in (list 1 2 3) sum x)") == 6
+
+    def test_loop_count(self, rt):
+        assert rt.eval_string(
+            "(loop for x in (list 1 2 3 4) count (evenp x))") == 2
+
+    def test_loop_append(self, rt):
+        assert rt.eval_string(
+            "(loop for x in (list 1 2) append (list x x))") == [1, 1, 2, 2]
+
+    def test_loop_maximize_minimize(self, rt):
+        assert rt.eval_string("(loop for x in (list 3 1 4) maximize x)") == 4
+        assert rt.eval_string("(loop for x in (list 3 1 4) minimize x)") == 1
+
+    def test_loop_from_to(self, rt):
+        assert rt.eval_string("(loop for i from 1 to 4 collect i)") == [1, 2, 3, 4]
+
+    def test_loop_from_below(self, rt):
+        assert rt.eval_string("(loop for i from 0 below 3 collect i)") == [0, 1, 2]
+
+    def test_loop_by_step(self, rt):
+        assert rt.eval_string("(loop for i from 0 to 6 by 2 collect i)") == \
+            [0, 2, 4, 6]
+
+    def test_loop_downto(self, rt):
+        assert rt.eval_string("(loop for i from 3 downto 1 collect i)") == \
+            [3, 2, 1]
+
+    def test_loop_repeat(self, rt):
+        assert rt.eval_string("(loop repeat 3 collect :x)") == \
+            [Keyword("x")] * 3
+
+    def test_loop_while(self, rt):
+        assert rt.eval_string("""
+            (let ((n 0))
+              (loop while (< n 3) do (setq n (+ n 1)))
+              n)""") == 3
+
+    def test_loop_for_on(self, rt):
+        assert rt.eval_string(
+            "(loop for tail on (list 1 2 3) collect (length tail))") == [3, 2, 1]
+
+    def test_loop_do(self, rt):
+        assert rt.eval_string("""
+            (let ((acc (list)))
+              (loop for x in (list 1 2) do (append! acc x) (append! acc x))
+              acc)""") == [1, 1, 2, 2]
+
+    def test_infinite_loop_with_return(self, rt):
+        assert rt.eval_string("""
+            (let ((n 0))
+              (loop (setq n (+ n 1)) (when (= n 5) (return n))))""") == 5
+
+    def test_empty_loop_is_error(self):
+        with pytest.raises(CompileError):
+            CORE_MACROS[S("loop")]([])
+
+
+class TestPlaceMacros:
+    def test_incf(self, rt):
+        assert rt.eval_string("(let ((x 1)) (incf x) x)") == 2
+
+    def test_incf_delta(self, rt):
+        assert rt.eval_string("(let ((x 1)) (incf x 10) x)") == 11
+
+    def test_decf(self, rt):
+        assert rt.eval_string("(let ((x 5)) (decf x 2) x)") == 3
+
+    def test_push(self, rt):
+        assert rt.eval_string("(let ((xs (list 2))) (push 1 xs) xs)") == [1, 2]
+
+    def test_incf_hash_place(self, rt):
+        assert rt.eval_string("""
+            (let ((h (make-hash-table)))
+              (setf (gethash :n h) 1)
+              (incf (gethash :n h))
+              (gethash :n h))""") == 2
+
+
+class TestQuasiquote:
+    def test_plain_template(self, rt):
+        assert rt.eval_string("`(1 2 3)") == [1, 2, 3]
+
+    def test_unquote(self, rt):
+        assert rt.eval_string("(let ((x 5)) `(a ~x))") == [S("a"), 5]
+
+    def test_unquote_splicing(self, rt):
+        assert rt.eval_string("(let ((xs (list 1 2))) `(0 ~@xs 3))") == \
+            [0, 1, 2, 3]
+
+    def test_nested_lists(self, rt):
+        assert rt.eval_string("(let ((x 1)) `((~x) (2)))") == [[1], [2]]
+
+    def test_splicing_outside_list_errors(self):
+        with pytest.raises(CompileError):
+            expand_quasiquote(read_string("~@x"))
+
+
+class TestUserMacros:
+    def test_defmacro_simple(self, rt):
+        rt.eval_string("(defmacro my-if (c a b) `(if ~c ~a ~b))")
+        assert rt.eval_string("(my-if t :yes :no)") == Keyword("yes")
+
+    def test_defmacro_body_runs_at_expansion(self, rt):
+        rt.eval_string("""
+            (defmacro swap-args (form)
+              (list (first form) (third form) (second form)))""")
+        assert rt.eval_string("(swap-args (- 1 10))") == 9
+
+    def test_macro_sees_earlier_macro(self, rt):
+        rt.eval_string("""
+            (defmacro m1 (x) `(+ ~x 1))
+            (defmacro m2 (x) `(m1 (m1 ~x)))""")
+        assert rt.eval_string("(m2 0)") == 2
+
+    def test_macroexpand_driver(self, rt):
+        form = read_string("(when a b)")
+        expanded = macroexpand(form, rt.global_env, rt.apply)
+        assert expanded[0] is S("if")
+
+    def test_defmacro_with_rest(self, rt):
+        rt.eval_string("(defmacro all-of (&rest forms) `(and ~@forms))")
+        assert rt.eval_string("(all-of t t 3)") == 3
+
+
+class TestIgnoreErrors:
+    def test_ignore_errors_returns_nil_on_error(self, rt):
+        assert rt.eval_string('(ignore-errors (error "x"))') is None
+
+    def test_ignore_errors_passes_value(self, rt):
+        assert rt.eval_string("(ignore-errors 42)") == 42
+
+
+class TestDestructuringBind:
+    def test_flat(self, rt):
+        assert rt.eval_string("""
+            (destructuring-bind (a b c) (list 1 2 3) (list c b a))""") == \
+            [3, 2, 1]
+
+    def test_nested(self, rt):
+        assert rt.eval_string("""
+            (destructuring-bind (a (b (c))) (list 1 (list 2 (list 3)))
+              (+ a b c))""") == 6
+
+    def test_rest(self, rt):
+        assert rt.eval_string("""
+            (destructuring-bind (head &rest tail) (list 1 2 3)
+              (list head tail))""") == [1, [2, 3]]
+
+    def test_optional_with_default(self, rt):
+        assert rt.eval_string("""
+            (destructuring-bind (a &optional (b 99)) (list 1)
+              (list a b))""") == [1, 99]
+
+    def test_optional_supplied(self, rt):
+        assert rt.eval_string("""
+            (destructuring-bind (a &optional (b 99)) (list 1 2)
+              (list a b))""") == [1, 2]
+
+
+class TestRotatef:
+    def test_two_places(self, rt):
+        assert rt.eval_string(
+            "(let ((a 1) (b 2)) (rotatef a b) (list a b))") == [2, 1]
+
+    def test_three_places(self, rt):
+        assert rt.eval_string(
+            "(let ((a 1) (b 2) (c 3)) (rotatef a b c) (list a b c))") == \
+            [2, 3, 1]
+
+    def test_hash_places(self, rt):
+        assert rt.eval_string("""
+            (let ((h (make-hash-table)))
+              (setf (gethash :x h) 1 (gethash :y h) 2)
+              (rotatef (gethash :x h) (gethash :y h))
+              (list (gethash :x h) (gethash :y h)))""") == [2, 1]
+
+
+class TestAssert:
+    def test_passes_silently(self, rt):
+        assert rt.eval_string("(progn (assert (= 1 1)) :ok)") == \
+            rt.read(":ok")
+
+    def test_failure_signals(self, rt):
+        from repro.gvm.conditions import UnhandledConditionError
+
+        import pytest as _pytest
+
+        with _pytest.raises(UnhandledConditionError):
+            rt.eval_string('(assert (= 1 2) "one is not two")')
+
+    def test_continue_restart(self, rt):
+        assert rt.eval_string("""
+            (handler-bind ((error (lambda (c) (invoke-restart 'continue))))
+              (assert nil "always fails")
+              :continued)""") == rt.read(":continued")
+
+
+class TestRadixLiterals:
+    def test_hex(self, rt):
+        assert rt.eval_string("#xff") == 255
+        assert rt.eval_string("#XFF") == 255
+
+    def test_octal_binary(self, rt):
+        assert rt.eval_string("#o777") == 511
+        assert rt.eval_string("#b1011") == 11
+
+    def test_negative(self, rt):
+        assert rt.eval_string("#x-10") == -16
+
+    def test_bad_digits_error(self, rt):
+        from repro.lang.errors import ReaderError
+        from repro.lang.reader import read_string
+
+        import pytest as _pytest
+
+        with _pytest.raises(ReaderError):
+            read_string("#b102")

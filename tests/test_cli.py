@@ -1,0 +1,70 @@
+"""CLI tests: ``python -m repro``."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+STATS = os.path.join(REPO, "examples", "gozer", "stats.gozer")
+PORTFOLIO = os.path.join(REPO, "examples", "gozer", "portfolio.gozer")
+
+
+def cli(*argv, stdin="", expect_rc=0):
+    proc = subprocess.run([sys.executable, "-m", "repro", *argv],
+                          input=stdin, capture_output=True, text=True,
+                          timeout=180)
+    assert proc.returncode == expect_rc, proc.stderr
+    return proc.stdout
+
+
+class TestCli:
+    def test_dis(self):
+        out = cli("dis", "(+ 1 2)")
+        assert "call" in out and "return" in out
+
+    def test_expand(self):
+        out = cli("expand", "(unless a b)")
+        assert "(if a nil (progn b))" in out
+
+    def test_run_file(self):
+        out = cli("run", STATS)
+        assert "summarize" in out  # value of the last defun
+
+    def test_run_file_with_main(self, tmp_path):
+        wf = tmp_path / "wf.gozer"
+        wf.write_text("(defun main (params) (* (or params 1) 6))")
+        assert "42" in cli("run", str(wf), "7")
+
+    def test_deploy(self):
+        out = cli("deploy", PORTFOLIO, "((:price 2.0 :quantity 5))")
+        assert "result:" in out
+        assert ":total 10.0" in out
+        assert "virtual time" in out
+
+    def test_deploy_with_extensions_flags(self):
+        out = cli("deploy", PORTFOLIO, "((:price 1.0 :quantity 1))",
+                  "--placement", "affinity", "--edf",
+                  "--adaptive-migration")
+        assert ":total 1.0" in out
+
+    def test_trace(self):
+        out = cli("trace", PORTFOLIO, "((:price 3.0 :quantity 2))")
+        assert "task-start" in out
+        assert "task-complete" in out
+        assert "completed" in out
+
+    def test_production_day(self):
+        out = cli("production-day", "0.001", "--nodes", "4", "--slots", "2")
+        assert "tasks/day" in out
+        assert "cache hit rates" in out
+
+    def test_repl_subcommand(self):
+        out = cli("repl", stdin="(* 6 7)\n:quit\n")
+        assert "42" in out
+
+    def test_bad_command_exits_nonzero(self):
+        proc = subprocess.run([sys.executable, "-m", "repro", "bogus"],
+                              capture_output=True, text=True, timeout=60)
+        assert proc.returncode != 0

@@ -1,0 +1,160 @@
+"""Fiber cache and process registry unit tests."""
+
+import pytest
+
+from repro.vinz.cache import FiberCache, LruCache
+from repro.vinz.task import (
+    COMPLETED,
+    ERROR,
+    PENDING,
+    ProcessRegistry,
+    RUNNING,
+    TERMINATED,
+)
+
+
+class TestLruCache:
+    def test_get_put(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_eviction_order(self):
+        cache = LruCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")       # refresh a
+        cache.put("c", 3)    # evicts b (LRU)
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_hit_rate(self):
+        cache = LruCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("a")
+        cache.get("miss")
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert cache.hit_rate == pytest.approx(2 / 3)
+
+    def test_hit_rate_empty(self):
+        assert LruCache().hit_rate == 0.0
+
+    def test_invalidate(self):
+        cache = LruCache()
+        cache.put("a", 1)
+        cache.invalidate("a")
+        assert cache.get("a") is None
+
+    def test_overwrite_key(self):
+        cache = LruCache()
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert cache.get("a") == 2
+        assert len(cache) == 1
+
+
+class TestFiberCache:
+    def test_continuation_keyed_by_version(self):
+        """A continuation cached at version 1 must not satisfy a lookup
+        for version 2 — stale state would corrupt the fiber."""
+        cache = FiberCache()
+        cache.put_continuation("f1", 1, "state-v1")
+        assert cache.get_continuation("f1", 1) == "state-v1"
+        assert cache.get_continuation("f1", 2) is None
+
+    def test_task_env_keyed_by_task(self):
+        cache = FiberCache()
+        cache.put_task_env("t1", {"params": 1})
+        assert cache.get_task_env("t1") == {"params": 1}
+        assert cache.get_task_env("t2") is None
+
+    def test_for_node_attaches_to_memory(self):
+        class FakeNode:
+            memory = {}
+
+        node = FakeNode()
+        c1 = FiberCache.for_node(node)
+        c2 = FiberCache.for_node(node)
+        assert c1 is c2
+
+    def test_node_failure_loses_cache(self):
+        """Cluster wipes node memory on failure; a new cache appears."""
+        class FakeNode:
+            def __init__(self):
+                self.memory = {}
+
+        node = FakeNode()
+        c1 = FiberCache.for_node(node)
+        node.memory.clear()
+        c2 = FiberCache.for_node(node)
+        assert c1 is not c2
+
+
+class TestProcessRegistry:
+    def test_task_and_fiber_creation(self):
+        reg = ProcessRegistry()
+        task = reg.new_task("WF", {"p": 1}, now=1.0)
+        fiber = reg.new_fiber(task, now=1.0)
+        assert task.status == PENDING
+        assert fiber.task_id == task.id
+        assert task.fiber_ids == [fiber.id]
+        assert reg.task_of(fiber.id) is task
+
+    def test_unique_ids(self):
+        reg = ProcessRegistry()
+        tasks = [reg.new_task("WF", None, 0.0) for _ in range(3)]
+        assert len({t.id for t in tasks}) == 3
+
+    def test_child_fiber_parentage(self):
+        reg = ProcessRegistry()
+        task = reg.new_task("WF", None, 0.0)
+        parent = reg.new_fiber(task, 0.0)
+        child = reg.new_fiber(task, 1.0, parent_id=parent.id,
+                              notify_parent=True)
+        assert child.parent_id == parent.id
+        assert child.notify_parent
+        assert not parent.notify_parent
+        assert len(reg.fibers_of(task.id)) == 2
+
+    def test_finish_task_fires_listeners_once(self):
+        reg = ProcessRegistry()
+        task = reg.new_task("WF", None, 0.0)
+        hits = []
+        task.completion_listeners.append(lambda t: hits.append(t.status))
+        reg.finish_task(task, COMPLETED, now=5.0, result=42)
+        reg.finish_task(task, ERROR, now=6.0)  # ignored: already finished
+        assert hits == [COMPLETED]
+        assert task.result == 42
+        assert task.status == COMPLETED
+        assert task.duration == 5.0
+
+    def test_finish_fiber(self):
+        reg = ProcessRegistry()
+        task = reg.new_task("WF", None, 0.0)
+        fiber = reg.new_fiber(task, 0.0)
+        reg.finish_fiber(fiber, ERROR, now=2.0, error="boom")
+        assert fiber.finished
+        assert fiber.error == "boom"
+        reg.finish_fiber(fiber, COMPLETED, now=3.0)  # no-op
+        assert fiber.status == ERROR
+
+    def test_counts_and_active(self):
+        reg = ProcessRegistry()
+        t1 = reg.new_task("WF", None, 0.0)
+        t2 = reg.new_task("WF", None, 0.0)
+        reg.finish_task(t1, TERMINATED, 1.0)
+        assert reg.counts() == {TERMINATED: 1, PENDING: 1}
+        assert reg.active_tasks() == [t2]
+
+    def test_statuses(self):
+        reg = ProcessRegistry()
+        task = reg.new_task("WF", None, 0.0)
+        assert not task.finished
+        task.status = RUNNING
+        assert not task.finished
+        reg.finish_task(task, COMPLETED, 1.0)
+        assert task.finished

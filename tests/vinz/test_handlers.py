@@ -1,0 +1,232 @@
+"""Named handler tests: defhandler / with-handler (paper Listing 6)."""
+
+import pytest
+
+from repro.bluebox.services import ServiceFault, simple_service
+from repro.lang.errors import CompileError
+from repro.lang.symbols import Keyword
+from repro.vinz.api import VinzEnvironment, WorkflowError
+from repro.vinz.handlers import HandlerDefinition, parse_defhandler
+from repro.lang.reader import read_all
+
+K = Keyword
+
+
+@pytest.fixture
+def env():
+    return VinzEnvironment(nodes=3, seed=13)
+
+
+class TestParsing:
+    def _parse(self, text):
+        form = read_all(text)[0]
+        return parse_defhandler(form[1], form[2:])
+
+    def test_listing6_ignore_handler(self):
+        definition = self._parse("""
+            (defhandler ignore-handler
+              :java ("java.lang.Throwable")
+              :action ignore)""")
+        assert definition.name == "ignore-handler"
+        assert definition.typespecs == ["java.lang.Throwable"]
+        assert definition.action == "ignore"
+
+    def test_listing6_retry_handler(self):
+        definition = self._parse("""
+            (defhandler retry-handler
+              :java ("java.net.SocketException")
+              :code ("{urn:service}Connect"
+                     "{urn:service}Transmit")
+              :action retry
+              :count 5)""")
+        assert definition.typespecs == [
+            "java.net.SocketException",
+            "{urn:service}Connect",
+            "{urn:service}Transmit",
+        ]
+        assert definition.action == "retry"
+        assert definition.count == 5
+
+    def test_condition_option(self):
+        definition = self._parse("""
+            (defhandler h :condition (network-error) :action break)""")
+        assert len(definition.typespecs) == 1
+
+    def test_no_conditions_is_error(self):
+        with pytest.raises(CompileError):
+            self._parse("(defhandler h :action retry)")
+
+    def test_unknown_option_is_error(self):
+        with pytest.raises(CompileError):
+            self._parse("(defhandler h :java (\"X\") :bogus 1)")
+
+
+class TestRetryAction:
+    def _flaky_env(self, env, fail_times):
+        state = {"fails": fail_times}
+
+        def flaky(ctx, body):
+            if state["fails"] > 0:
+                state["fails"] -= 1
+                raise ServiceFault("{urn:svc}Connect", "reset")
+            return "recovered"
+
+        env.deploy_service(simple_service("Svc", {"Tx": flaky},
+                                          namespace="urn:svc"))
+        return state
+
+    def test_retry_within_count_succeeds(self, env):
+        self._flaky_env(env, fail_times=3)
+        env.deploy_workflow("W", """
+            (deflink S :wsdl "urn:svc")
+            (defhandler retry-conn
+              :code ("{urn:svc}Connect")
+              :action retry
+              :count 5)
+            (defun main (params)
+              (with-handler retry-conn (S-Tx-Method)))""")
+        assert env.call("W", None) == "recovered"
+
+    def test_retry_count_exhausted_fails(self, env):
+        self._flaky_env(env, fail_times=10)
+        env.deploy_workflow("W", """
+            (deflink S :wsdl "urn:svc")
+            (defhandler retry-conn
+              :code ("{urn:svc}Connect")
+              :action retry
+              :count 2)
+            (defun main (params)
+              (with-handler retry-conn (S-Tx-Method)))""")
+        with pytest.raises(WorkflowError):
+            env.call("W", None)
+
+    def test_handler_only_matches_its_conditions(self, env):
+        """A QName the handler doesn't list is not retried."""
+        def other_fault(ctx, body):
+            raise ServiceFault("{urn:svc}Unrelated", "nope")
+
+        env.deploy_service(simple_service("Svc", {"Tx": other_fault},
+                                          namespace="urn:svc"))
+        env.deploy_workflow("W", """
+            (deflink S :wsdl "urn:svc")
+            (defhandler retry-conn
+              :code ("{urn:svc}Connect")
+              :action retry :count 5)
+            (defun main (params)
+              (with-handler retry-conn (S-Tx-Method)))""")
+        with pytest.raises(WorkflowError):
+            env.call("W", None)
+
+
+class TestIgnoreAction:
+    def test_ignore_returns_nil(self, env):
+        def boom(ctx, body):
+            raise ServiceFault("{urn:svc}Any", "x")
+
+        env.deploy_service(simple_service("Svc", {"Op": boom},
+                                          namespace="urn:svc"))
+        env.deploy_workflow("W", """
+            (deflink S :wsdl "urn:svc")
+            (defhandler ignore-all
+              :java ("java.lang.Throwable")
+              :code ("{urn:svc}Any")
+              :action ignore)
+            (defun main (params)
+              (list :before (with-handler ignore-all (S-Op-Method)) :after))""")
+        assert env.call("W", None) == [K("before"), None, K("after")]
+
+    def test_listing6_nested_handlers(self, env):
+        """Listing 6's shape: with-handler nests."""
+        state = {"fails": 1}
+
+        def flaky(ctx, body):
+            if state["fails"] > 0:
+                state["fails"] -= 1
+                raise ServiceFault("{urn:service}Connet", "reset")
+            return "done"
+
+        env.deploy_service(simple_service("Sock", {"Op": flaky},
+                                          namespace="urn:service"))
+        env.deploy_workflow("W", """
+            (deflink K :wsdl "urn:service")
+            (defhandler ignore-handler
+              :java ("java.lang.Throwable")
+              :action ignore)
+            (defhandler retry-handler
+              :java ("java.net.SocketException")
+              :code ("{urn:service}Connet"
+                     "{urn:service}Transmit")
+              :action retry
+              :count 5)
+            (defun main (params)
+              (with-handler ignore-handler
+                (with-handler retry-handler
+                  (K-Op-Method))))""")
+        assert env.call("W", None) == "done"
+
+
+class TestBreakAction:
+    def test_break_terminates_fiber_returning_nil(self, env):
+        """'the break action causes the currently executing fiber to
+        immediately terminate cleanly and return nil to the parent
+        (other fibers are unaffected)'."""
+        env.deploy_workflow("W", """
+            (defhandler break-on-error
+              :condition (error)
+              :action break)
+            (defun main (params)
+              (for-each (x in params)
+                (with-handler break-on-error
+                  (if (= x 13) (error "unlucky") (* x 10)))))""")
+        assert env.call("W", [1, 13, 3]) == [10, None, 30]
+
+
+class TestTerminateAction:
+    def test_terminate_fails_whole_task(self, env):
+        env.deploy_workflow("W", """
+            (defhandler die
+              :condition (error)
+              :action terminate)
+            (defun main (params)
+              (for-each (x in params)
+                (with-handler die
+                  (if (= x 13) (error "fatal") x))))""")
+        with pytest.raises(WorkflowError):
+            env.call("W", [1, 13, 3])
+        task = list(env.registry.tasks.values())[0]
+        assert task.status == "error"
+
+
+class TestCustomAction:
+    def test_user_defined_action_function(self, env):
+        """'an action is just a function, so the workflow author is free
+        to define additional actions'."""
+        env.deploy_workflow("W", """
+            (defun log-and-ignore (c)
+              (invoke-restart 'use-fallback))
+            (defhandler custom
+              :condition (error)
+              :action log-and-ignore)
+            (defun main (params)
+              (with-handler custom
+                (restart-case (error "x")
+                  (use-fallback () :fell-back))))""")
+        assert env.call("W", None) == K("fell-back")
+
+    def test_unknown_action_errors(self, env):
+        env.deploy_workflow("W", """
+            (defhandler bad
+              :condition (error)
+              :action no-such-action)
+            (defun main (params)
+              (with-handler bad (error "x")))""")
+        with pytest.raises(WorkflowError):
+            env.call("W", None)
+
+
+class TestWithHandlerErrors:
+    def test_with_handler_unknown_name_compile_error(self, env):
+        with pytest.raises(CompileError):
+            env.deploy_workflow("W", """
+                (defun main (params)
+                  (with-handler never-defined 1))""")

@@ -1,0 +1,110 @@
+"""Workload generator tests (paper Section 5 calibration)."""
+
+import random
+
+import pytest
+
+from repro.workloads.generators import (
+    LogNormalDuration,
+    PoissonArrivals,
+    TaskSpec,
+    WorkloadProfile,
+    generate_tasks,
+    workload_statistics,
+)
+from repro.workloads.production import (
+    DAY_SECONDS,
+    PAPER_TASKS_PER_DAY,
+    run_production_day,
+)
+
+
+class TestLogNormalDuration:
+    def test_mean_calibration(self):
+        """The sample mean converges to the configured mean."""
+        model = LogNormalDuration(mean_seconds=68.4, sigma=2.0,
+                                  maximum=float("inf"))
+        rng = random.Random(0)
+        samples = [model.sample(rng) for _ in range(200_000)]
+        mean = sum(samples) / len(samples)
+        assert 0.8 * 68.4 < mean < 1.2 * 68.4
+
+    def test_clipping(self):
+        model = LogNormalDuration(mean_seconds=60, minimum=0.02,
+                                  maximum=43200)
+        rng = random.Random(1)
+        samples = [model.sample(rng) for _ in range(10_000)]
+        assert min(samples) >= 0.02
+        assert max(samples) <= 43200
+
+    def test_heavy_tail(self):
+        """Most tasks are short; a few are very long (paper: 20ms-12h)."""
+        model = LogNormalDuration(mean_seconds=68.4, sigma=2.0)
+        rng = random.Random(2)
+        samples = sorted(model.sample(rng) for _ in range(50_000))
+        median = samples[len(samples) // 2]
+        assert median < 68.4 / 2  # median well below mean = heavy tail
+        assert samples[-1] > 3600  # hours-long stragglers exist
+
+    def test_invalid_mean(self):
+        with pytest.raises(ValueError):
+            LogNormalDuration(mean_seconds=0)
+
+
+class TestArrivals:
+    def test_count_and_range(self):
+        arrivals = PoissonArrivals(100, 1000.0).sample(random.Random(3))
+        assert len(arrivals) == 100
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= a <= 1000.0 for a in arrivals)
+
+
+class TestGenerateTasks:
+    def test_deterministic_by_seed(self):
+        a = generate_tasks(50, 1000.0, seed=9)
+        b = generate_tasks(50, 1000.0, seed=9)
+        assert [t.total_compute for t in a] == [t.total_compute for t in b]
+
+    def test_fiber_ratio_near_paper(self):
+        """~4.5 fibers per task (45,000 fibers / 10,000 tasks)."""
+        specs = generate_tasks(3000, DAY_SECONDS, seed=4)
+        stats = workload_statistics(specs)
+        assert 3.0 < stats["fibers_per_task"] < 6.5
+
+    def test_serial_hours_scale(self):
+        """190 serial hours per 10k tasks, proportionally."""
+        specs = generate_tasks(3000, DAY_SECONDS, seed=5,
+                               profile=WorkloadProfile(
+                                   mean_task_seconds=190 * 3600 / 10_000))
+        stats = workload_statistics(specs)
+        expected = 190 * 3000 / PAPER_TASKS_PER_DAY
+        assert 0.6 * expected < stats["serial_hours"] < 1.6 * expected
+
+    def test_params_round_trip(self):
+        spec = TaskSpec(arrival=0.0, head_seconds=1.0,
+                        child_seconds=[2.0, 3.0], service_calls=1)
+        params = spec.to_params()
+        # the plist the batch workflow's getf reads
+        assert params[params.index(
+            __import__("repro.lang.symbols",
+                       fromlist=["Keyword"]).Keyword("head-seconds")) + 1] == 1.0
+        assert spec.total_compute == 6.0
+        assert spec.fiber_count == 3
+
+    def test_empty_statistics(self):
+        assert workload_statistics([]) == {}
+
+
+class TestProductionDayRunner:
+    def test_tiny_day_completes(self):
+        result = run_production_day(scale=0.001, nodes=4, slots=2, seed=3)
+        assert result.failed_tasks == 0
+        assert result.completed_tasks == result.generated["tasks"]
+        assert result.persist_writes > 0
+
+    def test_rows_have_paper_columns(self):
+        result = run_production_day(scale=0.001, nodes=4, slots=2, seed=3)
+        rows = result.rows()
+        metrics = [r[0] for r in rows]
+        assert "tasks/day" in metrics
+        assert "serial hours" in metrics
