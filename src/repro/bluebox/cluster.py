@@ -22,6 +22,7 @@ import itertools
 import random
 from typing import Any, Callable, Dict, List, Optional
 
+from ..faults.retry import RetryPolicy
 from .clock import SimKernel
 from .messagequeue import (
     Message,
@@ -29,7 +30,14 @@ from .messagequeue import (
     PRIORITY_NORMAL,
     ReplyTo,
 )
-from .monitoring import Counters, TraceLog
+from .monitoring import (
+    Counters,
+    DEADLETTER_ENQUEUED,
+    OPERATION_FAULT,
+    RETRY_SCHEDULED,
+    TraceLog,
+)
+from .store import StoreError
 from .services import (
     OperationContext,
     ResponseEnvelope,
@@ -102,12 +110,25 @@ class Cluster:
     """
 
     def __init__(self, seed: int = 0, delivery_latency: float = 0.002,
-                 redelivery_delay: float = 0.05, trace: bool = True):
+                 redelivery_delay: float = 0.05, trace: bool = True,
+                 retry_policy: Optional[RetryPolicy] = None):
         self.kernel = SimKernel()
         self.queue = MessageQueue()
         self.rng = random.Random(seed)
         self.delivery_latency = delivery_latency
         self.redelivery_delay = redelivery_delay
+        #: governs fault retries (drops, store faults): backoff delays,
+        #: attempt caps, timeouts.  The platform default reproduces the
+        #: legacy constant-delay, per-message-cap behaviour; campaigns
+        #: pass RetryPolicy.default() (or per-message policies) for
+        #: bounded exponential backoff and dead-lettering.
+        self.retry_policy = retry_policy or \
+            RetryPolicy.platform(redelivery_delay)
+        #: optional FaultInjector (repro.faults), wired by install()
+        self.injector = None
+        #: called with each dead-lettered Message (Vinz fails the
+        #: owning task/fiber so nothing hangs silently)
+        self.dead_letter_listeners: List[Callable[[Message], None]] = []
         self.nodes: Dict[str, Node] = {}
         self.services: Dict[str, Service] = {}
         self.trace = TraceLog(enabled=trace)
@@ -164,7 +185,8 @@ class Cluster:
              priority: int = PRIORITY_NORMAL,
              reply_to: Optional[ReplyTo] = None,
              max_attempts: int = 10,
-             affinity: Optional[str] = None) -> Message:
+             affinity: Optional[str] = None,
+             retry_policy: Optional[RetryPolicy] = None) -> Message:
         """Place a message on the queue (asynchronous)."""
         if service not in self.services:
             raise KeyError(f"no service named {service!r} is deployed")
@@ -173,7 +195,8 @@ class Cluster:
                                           reply_to=reply_to,
                                           now=self.kernel.now,
                                           max_attempts=max_attempts,
-                                          affinity=affinity)
+                                          affinity=affinity,
+                                          retry_policy=retry_policy)
         self.queue.enqueue(message, self.kernel.now)
         self.trace.record(self.kernel.now, "enqueue", service=service,
                           operation=operation, msg=message.id,
@@ -273,6 +296,27 @@ class Cluster:
         message = self.queue.pop_next(service_name, self.kernel.now)
         if message is None:  # pragma: no cover - guarded by peek
             return False
+        if self.injector is not None:
+            decision = self.injector.on_deliver(message)
+            if decision is not None:
+                action, delay = decision
+                if action == "drop":
+                    # at-least-once semantics: the lost delivery
+                    # consumes an attempt; redelivery (or the DLQ)
+                    # is driven by the message's retry policy
+                    self._retry_or_dead_letter(message, "delivery dropped")
+                    return True
+                if action == "delay":
+                    self.kernel.schedule(
+                        max(delay, 0.0),
+                        lambda m=message: (self.queue.push_back(m),
+                                           self._kick(m.service)))
+                    return True
+                if action == "duplicate":
+                    # deliver now *and* enqueue the same message again
+                    # (same id — receivers must be idempotent)
+                    self.queue.duplicated += 1
+                    self.queue.push_back(message)
         if message.affinity is not None:
             if instance.node.id == message.affinity:
                 self.counters.incr("placement.affinity-hit")
@@ -340,7 +384,20 @@ class Cluster:
         except ServiceFault as fault:
             envelope = ResponseEnvelope(fault_qname=fault.qname,
                                         fault_message=fault.message)
+        except StoreError as err:
+            # a store IO fault (or injected corruption) surfaced while
+            # processing: abort the window — roll back state, free the
+            # slot — and retry the message per its policy
+            self._abort_window(record, f"store fault: {err}")
+            return
         duration = max(context.charged, 1e-6)
+        if self.injector is not None:
+            duration *= self.injector.slow_factor(node.id, started)
+        if not record.valid:
+            # the node died (or was crashed by the injector) while the
+            # handler ran: fail_node already rolled back and requeued
+            self._kick_node(node)
+            return
         self.kernel.schedule(
             duration, lambda: self._complete(record, envelope, duration))
 
@@ -378,6 +435,8 @@ class Cluster:
             if self.queue.requeue(message, self.kernel.now):
                 self.kernel.schedule(max(delay, 0.0),
                                      lambda s=message.service: self._kick(s))
+            else:
+                self._on_dead_letter(message, "voluntary requeues exhausted")
             self._kick_node(node)
             return
         self.trace.record(self.kernel.now, "complete", service=message.service,
@@ -401,6 +460,79 @@ class Cluster:
         merged["response"] = body
         self.send(reply_to.service, reply_to.operation, merged,
                   max_attempts=1_000_000, affinity=reply_to.affinity)
+
+    # ------------------------------------------------------------------
+    # retry / dead-letter machinery
+    # ------------------------------------------------------------------
+
+    def _abort_window(self, record: "_InFlight", reason: str) -> None:
+        """An operation failed mid-window (store fault): run its abort
+        hooks (state rollback, lock release), free the slot, and retry
+        the message per its policy — the same recovery path a node
+        death takes, but for a single failed operation."""
+        record.valid = False
+        if record in self._in_flight:
+            self._in_flight.remove(record)
+        node = record.instance.node
+        node.busy -= 1
+        if record.context is not None:
+            for hook in record.context.abort_hooks:
+                hook()
+        self.trace.record(self.kernel.now, OPERATION_FAULT,
+                          service=record.message.service,
+                          operation=record.message.operation,
+                          msg=record.message.id, node=node.id,
+                          reason=reason)
+        self.counters.incr("operation.faults")
+        self._retry_or_dead_letter(record.message, reason)
+        self._kick_node(node)
+
+    def _retry_or_dead_letter(self, message: Message, reason: str) -> bool:
+        """Consume one delivery attempt; either schedule a backoff
+        retry or move the message to the dead-letter queue.  Returns
+        True when a retry was scheduled."""
+        policy = message.retry_policy or self.retry_policy
+        now = self.kernel.now
+        if policy.expired(message.first_enqueued_at, now):
+            message.attempts += 1
+            self.queue.dead_letter(message)
+            self._on_dead_letter(message, f"{reason}; retry timeout expired")
+            return False
+        cap = policy.max_attempts if policy.max_attempts is not None \
+            else message.max_attempts
+        if not self.queue.requeue(message, now, cap=cap, push=False):
+            self._on_dead_letter(message, f"{reason}; attempts exhausted")
+            return False
+        delay = policy.backoff_delay(message.attempts, self.rng)
+        self.trace.record(now, RETRY_SCHEDULED, msg=message.id,
+                          service=message.service,
+                          operation=message.operation,
+                          attempt=message.attempts, delay=delay,
+                          reason=reason)
+        self.counters.incr("retry.scheduled")
+        self.kernel.schedule(
+            delay, lambda m=message: (self.queue.push_back(m),
+                                      self._kick(m.service)))
+        return True
+
+    def _on_dead_letter(self, message: Message, reason: str) -> None:
+        """Observability + liveness when a message dead-letters: trace
+        it, answer any waiting requester with a fault (so synchronous
+        callers and suspended fibers get a signalable condition instead
+        of hanging), and tell the listeners (Vinz fails the owning
+        fiber/task through the normal error path)."""
+        self.trace.record(self.kernel.now, DEADLETTER_ENQUEUED,
+                          msg=message.id, service=message.service,
+                          operation=message.operation,
+                          attempts=message.attempts, reason=reason)
+        self.counters.incr("deadletter.enqueued")
+        if message.reply_to is not None:
+            self._route_reply(message.reply_to, ResponseEnvelope(
+                fault_qname="{urn:bluebox}DeadLettered",
+                fault_message=f"{message.service}.{message.operation} "
+                              f"dead-lettered: {reason}"))
+        for listener in self.dead_letter_listeners:
+            listener(message)
 
     # ------------------------------------------------------------------
     # failure injection (survivability, paper Section 3.2)
@@ -431,6 +563,10 @@ class Cluster:
                     service = message.service
                     self.kernel.schedule(self.redelivery_delay,
                                          lambda s=service: self._kick(s))
+                else:
+                    self._on_dead_letter(
+                        message, f"redelivery after {node.id} failure "
+                                 f"exhausted attempts")
         return requeued
 
     def restore_node(self, node_id: str) -> None:

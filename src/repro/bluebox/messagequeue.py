@@ -68,6 +68,12 @@ class Message:
     attempts: int = 0
     max_attempts: int = 10
     affinity: Optional[str] = None
+    #: when the message first hit the queue (retry timeouts are
+    #: measured from here, not from the latest re-enqueue)
+    first_enqueued_at: float = 0.0
+    #: optional per-message RetryPolicy (repro.faults.retry); None
+    #: falls back to the cluster's platform policy
+    retry_policy: Optional[Any] = None
 
     def __repr__(self) -> str:
         return (f"<Message #{self.id} {self.service}.{self.operation} "
@@ -86,11 +92,16 @@ class MessageQueue:
         self._queues: Dict[str, List[Tuple[int, int, Message]]] = {}
         self._seq = itertools.count()
         self._ids = itertools.count(1)
+        #: messages whose retry policy is exhausted, kept for
+        #: inspection and operator replay (never silently discarded)
+        self.dead_letters: List[Message] = []
         # statistics
         self.enqueued = 0
         self.delivered = 0
         self.redelivered = 0
+        self.duplicated = 0
         self.dropped = 0
+        self.dead_lettered = 0
         self.wait_times: List[float] = []
 
     def make_message(self, service: str, operation: str, body: Dict[str, Any],
@@ -98,12 +109,14 @@ class MessageQueue:
                      reply_to: Optional[ReplyTo] = None,
                      now: float = 0.0,
                      max_attempts: int = 10,
-                     affinity: Optional[str] = None) -> Message:
+                     affinity: Optional[str] = None,
+                     retry_policy: Optional[Any] = None) -> Message:
         return Message(id=next(self._ids), service=service,
                        operation=operation, body=dict(body),
                        priority=priority, reply_to=reply_to,
                        enqueued_at=now, max_attempts=max_attempts,
-                       affinity=affinity)
+                       affinity=affinity, first_enqueued_at=now,
+                       retry_policy=retry_policy)
 
     def peek_message(self, service: str) -> Optional[Message]:
         """The next message for ``service``, without popping it."""
@@ -118,20 +131,46 @@ class MessageQueue:
         heapq.heappush(heap, (message.priority, next(self._seq), message))
         self.enqueued += 1
 
-    def requeue(self, message: Message, now: float) -> bool:
+    def requeue(self, message: Message, now: float,
+                cap: Optional[int] = None, push: bool = True) -> bool:
         """Put a message back after a failed delivery.
 
-        Returns False (and drops the message) once ``max_attempts`` is
-        exhausted — the queue's poison-message guard.
+        ``cap`` overrides the message's own ``max_attempts`` (a
+        RetryPolicy's bound).  Once the cap is exhausted the message
+        moves to the dead-letter queue and False is returned — the
+        poison-message guard, upgraded from a silent drop.  With
+        ``push=False`` only the attempt accounting happens; the caller
+        re-inserts via :meth:`push_back` after its backoff delay.
         """
         message.attempts += 1
-        if message.attempts >= message.max_attempts:
-            self.dropped += 1
+        limit = cap if cap is not None else message.max_attempts
+        if message.attempts >= limit:
+            self.dead_letter(message)
             return False
         self.redelivered += 1
+        if push:
+            self.push_back(message)
+        return True
+
+    def push_back(self, message: Message) -> None:
+        """Re-insert an already-accounted message (backoff expiry,
+        delivery-delay faults, duplicate deliveries)."""
         heap = self._queues.setdefault(message.service, [])
         heapq.heappush(heap, (message.priority, next(self._seq), message))
-        return True
+
+    def dead_letter(self, message: Message) -> None:
+        """Move a message to the dead-letter queue.
+
+        ``dropped`` keeps counting (backwards-compatible statistic);
+        the message itself is retained for inspection/replay instead of
+        being discarded.
+        """
+        self.dropped += 1
+        self.dead_lettered += 1
+        self.dead_letters.append(message)
+
+    def dead_letter_ids(self) -> List[int]:
+        return [m.id for m in self.dead_letters]
 
     def pop_next(self, service: str, now: float) -> Optional[Message]:
         """Remove and return the highest-priority message for ``service``."""

@@ -10,7 +10,27 @@ the Figure-1 bench renders the sequence for one task.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+#: Fault-injection / robustness event kinds (recorded by the cluster
+#: and the FaultInjector).  Every injected fault and every recovery
+#: decision is observable in the trace:
+#:
+#: * ``fault.injected`` — the injector fired (action=drop/duplicate/
+#:   delay/fail-write/fail-read/corrupt-read/crash/crash-on-persist);
+#: * ``retry.scheduled`` — a failed delivery was re-scheduled with its
+#:   backoff delay and attempt number;
+#: * ``deadletter.enqueued`` — a message exhausted its RetryPolicy and
+#:   moved to the dead-letter queue;
+#: * ``operation-fault`` — an operation aborted mid-window (store
+#:   fault) and its state was rolled back.
+FAULT_INJECTED = "fault.injected"
+RETRY_SCHEDULED = "retry.scheduled"
+DEADLETTER_ENQUEUED = "deadletter.enqueued"
+OPERATION_FAULT = "operation-fault"
+
+FAULT_EVENT_KINDS = (FAULT_INJECTED, RETRY_SCHEDULED, DEADLETTER_ENQUEUED,
+                     OPERATION_FAULT)
 
 
 @dataclass
@@ -53,6 +73,17 @@ class TraceLog:
 
     def clear(self) -> None:
         self.events.clear()
+
+    def signature(self, *kinds: str) -> Tuple[Tuple[Any, ...], ...]:
+        """A hashable, order-preserving fingerprint of the event
+        sequence, for bit-identical replay assertions: two runs of the
+        same seeded fault campaign must produce equal signatures.
+        Restrict to specific ``kinds`` to compare a sub-stream."""
+        events = self.events if not kinds else self.of_kind(*kinds)
+        return tuple(
+            (e.time, e.kind, tuple(sorted((k, repr(v))
+                                          for k, v in e.detail.items())))
+            for e in events)
 
     def render(self, events: Optional[Iterable[TraceEvent]] = None) -> str:
         """Human-readable lifetime rendering (the Figure 1 format)."""

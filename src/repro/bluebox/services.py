@@ -86,14 +86,16 @@ class OperationContext:
              priority: int = PRIORITY_NORMAL,
              reply_to: Optional[ReplyTo] = None,
              max_attempts: int = 10,
-             affinity: Optional[str] = None) -> None:
+             affinity: Optional[str] = None,
+             retry_policy: Optional[Any] = None) -> None:
         """Queue a message, to be placed on the queue when this
         operation's simulated processing window ends."""
         self.outbox.append((0.0, dict(service=service, operation=operation,
                                       body=body, priority=priority,
                                       reply_to=reply_to,
                                       max_attempts=max_attempts,
-                                      affinity=affinity)))
+                                      affinity=affinity,
+                                      retry_policy=retry_policy)))
 
     def send_later(self, delay: float, service: str, operation: str,
                    body: Dict[str, Any],

@@ -22,6 +22,29 @@ class StoreError(KeyError):
     """A missing key or failed store operation."""
 
 
+class StoreWriteError(StoreError):
+    """A write failed before any state changed (injected IO fault)."""
+
+    #: propagate through the GVM instead of becoming a Gozer condition:
+    #: IO faults abort the operation window and are retried by the
+    #: platform, invisibly to the workflow program
+    tunnels_through_vm = True
+
+
+class StoreReadError(StoreError):
+    """A read failed at the IO layer (injected fault), key intact."""
+
+    tunnels_through_vm = True
+
+
+class StoreCorruptionError(StoreError):
+    """A read returned a corrupt block, detected by the store's
+    integrity check (modelled as checksummed NFS: corruption surfaces
+    as an IO error rather than silently returning garbage)."""
+
+    tunnels_through_vm = True
+
+
 class SharedStore:
     """In-memory shared key/value store with an IO cost model.
 
@@ -44,11 +67,15 @@ class SharedStore:
         self._data: Dict[str, bytes] = {}
         self.op_latency = op_latency
         self.per_byte = per_byte
+        #: optional fault-injection hooks (repro.faults.FaultInjector);
+        #: consulted before every read/write and may raise StoreError
+        self.injector = None
         # statistics
         self.reads = 0
         self.writes = 0
         self.bytes_read = 0
         self.bytes_written = 0
+        self.faulted_ops = 0
 
     # -- core API ---------------------------------------------------------
 
@@ -56,12 +83,24 @@ class SharedStore:
         """Store ``data``; return the simulated IO cost in seconds."""
         if not isinstance(data, bytes):
             raise TypeError("store values must be bytes")
+        if self.injector is not None:
+            try:
+                self.injector.on_store_write(key)
+            except StoreError:
+                self.faulted_ops += 1
+                raise
         self._data[key] = data
         self.writes += 1
         self.bytes_written += len(data)
         return self.cost(len(data))
 
     def read(self, key: str) -> bytes:
+        if self.injector is not None:
+            try:
+                self.injector.on_store_read(key)
+            except StoreError:
+                self.faulted_ops += 1
+                raise
         data = self._data.get(key)
         if data is None:
             raise StoreError(key)

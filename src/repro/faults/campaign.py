@@ -1,0 +1,171 @@
+"""Reproducible chaos campaigns: a named ``(seed, FaultPlan)`` pair.
+
+A campaign builds a fresh :class:`~repro.vinz.api.VinzEnvironment`,
+deploys a small arithmetic workflow (fork-heavy enough to exercise
+persistence, service calls and for-each distribution), installs a
+:class:`~repro.faults.injector.FaultInjector` compiled from the plan,
+starts a batch of tasks with seed-derived inputs and runs the virtual
+clock until the cluster is idle.
+
+Because every source of nondeterminism (task inputs, injector choices,
+cluster placement, retry jitter) draws from RNGs seeded by the campaign
+seed and everything runs on the discrete-event clock, the same
+``(seed, plan)`` replays bit-identically — :meth:`CampaignReport.signature`
+lets tests assert that directly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bluebox.services import simple_service
+from ..lang.symbols import Keyword
+from ..vinz.api import VinzEnvironment
+from ..vinz.task import COMPLETED
+from .injector import FaultInjector
+from .plan import FaultPlan
+from .retry import RetryPolicy
+
+#: the campaign workload: enrich each item through a data service inside
+#: a for-each (forked fibers -> persists, locks, queue messages), then
+#: aggregate.  Same arithmetic as the chaos tests: item -> item + 10*item.
+CAMPAIGN_WORKFLOW = """
+(deflink DS :wsdl "urn:campaign-data")
+
+(defun main (params)
+  ;; params: (:id n :items (...))
+  (let* ((items (getf params :items))
+         (enriched (for-each (x in items)
+                     (compute 0.2)
+                     (+ x (DS-Lookup-Method :Key x))))
+         (total (apply #'+ enriched)))
+    (list :id (getf params :id) :total total)))
+"""
+
+CAMPAIGN_NAMESPACE = "urn:campaign-data"
+
+
+def data_service():
+    """The backing service the campaign workflow calls per item."""
+
+    def lookup(ctx, body):
+        ctx.charge(0.15)
+        return body.get("Key", 0) * 10
+
+    return simple_service("CampaignData", {"Lookup": lookup},
+                          namespace=CAMPAIGN_NAMESPACE,
+                          parameters={"Lookup": ["Key"]})
+
+
+def expected_total(items: List[int]) -> int:
+    return sum(x + x * 10 for x in items)
+
+
+@dataclass
+class CampaignReport:
+    """Everything a test needs to judge a finished campaign."""
+
+    name: str
+    seed: int
+    env: VinzEnvironment
+    injector: FaultInjector
+    #: task-id -> the item list that task was started with
+    inputs: Dict[str, List[int]] = field(default_factory=dict)
+
+    # -- outcomes ----------------------------------------------------------
+
+    @property
+    def statuses(self) -> Dict[str, int]:
+        return self.env.registry.counts()
+
+    @property
+    def completed(self) -> int:
+        return self.statuses.get(COMPLETED, 0)
+
+    @property
+    def all_completed(self) -> bool:
+        tasks = self.env.registry.tasks
+        return bool(tasks) and all(t.status == COMPLETED
+                                   for t in tasks.values())
+
+    def wrong_results(self) -> List[Tuple[str, Any, Any]]:
+        """(task-id, got, want) for every completed task whose total is
+        arithmetically wrong.  Empty list == all answers correct."""
+        wrong = []
+        for task_id, items in self.inputs.items():
+            task = self.env.registry.tasks.get(task_id)
+            if task is None or task.status != COMPLETED:
+                continue
+            plist = {task.result[i].name: task.result[i + 1]
+                     for i in range(0, len(task.result), 2)}
+            want = expected_total(items)
+            if plist.get("total") != want:
+                wrong.append((task_id, plist.get("total"), want))
+        return wrong
+
+    # -- fault / queue accounting -----------------------------------------
+
+    @property
+    def injected(self) -> Dict[str, int]:
+        return dict(self.injector.injected)
+
+    @property
+    def dead_lettered(self) -> int:
+        return self.env.cluster.queue.dead_lettered
+
+    @property
+    def redelivered(self) -> int:
+        return self.env.cluster.queue.redelivered
+
+    @property
+    def duplicated(self) -> int:
+        return self.env.cluster.queue.duplicated
+
+    def signature(self, *kinds: str):
+        """Hashable trace signature for replay-determinism assertions."""
+        return self.env.cluster.trace.signature(*kinds)
+
+
+def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
+                 tasks: int = 4, nodes: int = 4,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 trace: bool = True,
+                 spawn_limit: int = 3) -> CampaignReport:
+    """Execute the named ``(seed, plan)`` chaos campaign to quiescence.
+
+    ``retry_policy`` defaults to :meth:`RetryPolicy.default` — bounded
+    exponential backoff with seeded jitter — so injected faults are
+    retried a finite number of times and exhaustion dead-letters.
+    """
+    policy = retry_policy if retry_policy is not None \
+        else RetryPolicy.default()
+    env = VinzEnvironment(nodes=nodes, seed=seed, trace=trace,
+                          retry_policy=policy)
+    env.deploy_service(data_service())
+    env.deploy_workflow("Campaign", CAMPAIGN_WORKFLOW,
+                        spawn_limit=spawn_limit)
+    injector = FaultInjector(seed, plan).install(env)
+
+    rng = random.Random(seed ^ 0x5EED)
+    started: List[Tuple[int, List[int]]] = []
+    for i in range(tasks):
+        items = [rng.randint(1, 9) for _ in range(rng.randint(2, 5))]
+        started.append((i, items))
+        env.cluster.send("Campaign", "Start",
+                         {"params": [Keyword("id"), i,
+                                     Keyword("items"), items]})
+    env.cluster.run_until_idle()
+
+    report = CampaignReport(name=name, seed=seed, env=env,
+                            injector=injector)
+    # map campaign ids back to task records via each task's params
+    for task in env.registry.tasks.values():
+        plist = {task.params[i].name: task.params[i + 1]
+                 for i in range(0, len(task.params), 2)}
+        for i, items in started:
+            if plist.get("id") == i:
+                report.inputs[task.id] = items
+                break
+    return report

@@ -1,0 +1,218 @@
+"""The compiled fault injector: seeded, deterministic, observable.
+
+A :class:`FaultInjector` is a ``(seed, FaultPlan)`` pair compiled into
+interception hooks.  ``install(env)`` wires it into a
+:class:`~repro.vinz.api.VinzEnvironment`:
+
+* the cluster consults :meth:`on_deliver` as each message is popped for
+  delivery (drop / duplicate / delay);
+* the shared store consults :meth:`on_store_write` / :meth:`on_store_read`
+  before every IO (fail / corrupt);
+* the cluster multiplies operation durations by :meth:`slow_factor`;
+* Vinz calls :meth:`on_persist` after each fiber-state persist (crash
+  *during* persistence);
+* time-triggered crashes/restarts are scheduled on the virtual clock at
+  install time.
+
+Every injected fault is recorded as a ``fault.injected`` trace event
+and counted, so a campaign can assert it actually exercised what it
+claims to.  All randomness comes from ``random.Random(seed)``: the same
+``(seed, plan)`` replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..bluebox.store import StoreCorruptionError, StoreReadError, StoreWriteError
+from .plan import (
+    CORRUPT_READ,
+    CRASH,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FAIL_READ,
+    FAIL_WRITE,
+    FaultPlan,
+    MessageFault,
+    NodeFault,
+    SLOW,
+    StoreFault,
+)
+
+
+class FaultInjector:
+    """Deterministic interception hooks compiled from ``(seed, plan)``."""
+
+    def __init__(self, seed: int, plan: FaultPlan):
+        self.seed = seed
+        self.plan = plan
+        self.rng = random.Random(seed)
+        self.env = None  # set by install()
+        #: per-fault match counters (fault index -> matching events seen)
+        self._seen: Dict[int, int] = {}
+        #: cluster-wide fiber persist counter (crash-during-persistence)
+        self.persists = 0
+        #: how many faults of each action were actually injected
+        self.injected: Dict[str, int] = {}
+        #: node faults with a concrete node resolved at install time
+        self._node_faults: List[NodeFault] = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+
+    def install(self, env) -> "FaultInjector":
+        """Wire the hooks into a VinzEnvironment and schedule the
+        time-triggered node faults on its virtual clock."""
+        self.env = env
+        env.injector = self
+        env.cluster.injector = self
+        env.store.injector = self
+        node_ids = sorted(env.cluster.nodes)
+        for fault in self.plan.node_faults():
+            node = fault.node or (self.rng.choice(node_ids) if node_ids
+                                  else "")
+            resolved = NodeFault(action=fault.action, node=node,
+                                 at=fault.at,
+                                 restart_after=fault.restart_after,
+                                 on_persist=fault.on_persist,
+                                 factor=fault.factor,
+                                 duration=fault.duration)
+            self._node_faults.append(resolved)
+            if resolved.action == CRASH and resolved.at is not None:
+                env.cluster.kernel.schedule_at(
+                    resolved.at, lambda f=resolved: self._crash(f))
+        return self
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+
+    def _record(self, action: str, **detail: Any) -> None:
+        self.injected[action] = self.injected.get(action, 0) + 1
+        if self.env is not None:
+            cluster = self.env.cluster
+            cluster.trace.record(cluster.kernel.now, "fault.injected",
+                                 action=action, **detail)
+            cluster.counters.incr("fault.injected")
+            cluster.counters.incr(f"fault.injected.{action}")
+
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    # ------------------------------------------------------------------
+    # match bookkeeping
+    # ------------------------------------------------------------------
+
+    def _triggered(self, index: int, nth: int, count: int) -> bool:
+        """Count one matching event for fault ``index``; True when the
+        occurrence number falls inside the fault's [nth, nth+count)
+        firing window."""
+        seen = self._seen.get(index, 0) + 1
+        self._seen[index] = seen
+        return nth <= seen < nth + count
+
+    # ------------------------------------------------------------------
+    # message hooks (called by Cluster._dispatch_one)
+    # ------------------------------------------------------------------
+
+    def on_deliver(self, message) -> Optional[Tuple[str, float]]:
+        """Decide the fate of a delivery: ``None`` (deliver normally),
+        ``("drop", 0)``, ``("duplicate", 0)`` or ``("delay", seconds)``.
+
+        Every message fault whose selector matches counts the delivery;
+        the first fault whose firing window covers it wins.
+        """
+        decision: Optional[Tuple[str, float]] = None
+        for index, fault in enumerate(self.plan.faults):
+            if not isinstance(fault, MessageFault):
+                continue
+            if not fault.matches(message.service, message.operation):
+                continue
+            if self._triggered(index, fault.nth, fault.count) \
+                    and decision is None:
+                decision = (fault.action, fault.delay)
+        if decision is not None:
+            action, delay = decision
+            detail = dict(msg=message.id, service=message.service,
+                          operation=message.operation)
+            if action == DELAY:
+                detail["delay"] = delay
+            self._record(action, **detail)
+        return decision
+
+    # ------------------------------------------------------------------
+    # store hooks (called by SharedStore.write / SharedStore.read)
+    # ------------------------------------------------------------------
+
+    def on_store_write(self, key: str) -> None:
+        for index, fault in enumerate(self.plan.faults):
+            if not isinstance(fault, StoreFault) or fault.action != FAIL_WRITE:
+                continue
+            if not fault.matches(key):
+                continue
+            if self._triggered(index, fault.nth, fault.count):
+                self._record(FAIL_WRITE, key=key)
+                raise StoreWriteError(key)
+
+    def on_store_read(self, key: str) -> None:
+        for index, fault in enumerate(self.plan.faults):
+            if not isinstance(fault, StoreFault) \
+                    or fault.action not in (FAIL_READ, CORRUPT_READ):
+                continue
+            if not fault.matches(key):
+                continue
+            if self._triggered(index, fault.nth, fault.count):
+                self._record(fault.action, key=key)
+                if fault.action == FAIL_READ:
+                    raise StoreReadError(key)
+                raise StoreCorruptionError(key)
+
+    # ------------------------------------------------------------------
+    # node hooks
+    # ------------------------------------------------------------------
+
+    def slow_factor(self, node_id: str, now: float) -> float:
+        """Product of every active slow fault on ``node_id``."""
+        factor = 1.0
+        for fault in self._node_faults:
+            if fault.action != SLOW or fault.node != node_id:
+                continue
+            start = fault.at if fault.at is not None else 0.0
+            end = (start + fault.duration) if fault.duration is not None \
+                else float("inf")
+            if start <= now < end:
+                factor *= fault.factor
+        return factor
+
+    def _crash(self, fault: NodeFault) -> None:
+        if self.env is None:
+            return
+        node = self.env.cluster.nodes.get(fault.node)
+        if node is None or not node.alive:
+            return
+        self._record(CRASH, node=fault.node)
+        self.env.fail_node(fault.node)
+        if fault.restart_after is not None:
+            self.env.cluster.kernel.schedule(
+                fault.restart_after,
+                lambda n=fault.node: self.env.restore_node(n))
+
+    def on_persist(self, ctx, fiber) -> None:
+        """Called by Vinz after each fiber-state persist; fires
+        crash-during-persistence faults against the persisting node."""
+        self.persists += 1
+        for fault in self._node_faults:
+            if fault.action == CRASH and fault.on_persist is not None \
+                    and fault.on_persist == self.persists:
+                node = ctx.node
+                if node.alive:
+                    self._record("crash-on-persist", node=node.id,
+                                 fiber=fiber.id, persist=self.persists)
+                    self.env.fail_node(node.id)
+                    if fault.restart_after is not None:
+                        self.env.cluster.kernel.schedule(
+                            fault.restart_after,
+                            lambda n=node.id: self.env.restore_node(n))

@@ -1,0 +1,192 @@
+"""Declarative fault schedules.
+
+A :class:`FaultPlan` is a *data* description of every fault a chaos
+campaign will inject: drop/duplicate/delay the Nth matching message,
+fail or corrupt the Nth store IO touching a key prefix, crash/restart a
+node at virtual time T (or on the Nth fiber persist), slow a node by a
+factor.  Compiled with a seed into a
+:class:`~repro.faults.injector.FaultInjector`, the same ``(seed, plan)``
+pair replays bit-identically under the virtual clock — a failing
+campaign is a name you can re-run, not a dice roll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+# message fault actions
+DROP = "drop"
+DUPLICATE = "duplicate"
+DELAY = "delay"
+# store fault actions
+FAIL_WRITE = "fail-write"
+FAIL_READ = "fail-read"
+CORRUPT_READ = "corrupt-read"
+# node fault actions
+CRASH = "crash"
+SLOW = "slow"
+
+
+@dataclass(frozen=True)
+class MessageFault:
+    """Drop, duplicate or delay deliveries of matching messages.
+
+    A message matches when ``service``/``operation`` match (``None`` is
+    a wildcard).  The fault fires on matching deliveries number ``nth``
+    through ``nth + count - 1`` (1-based).  Semantics follow JMS
+    at-least-once delivery:
+
+    * ``drop`` — the delivery is lost; the queue's redelivery machinery
+      notices (an attempt is consumed) and the message retries per its
+      :class:`~repro.faults.retry.RetryPolicy`, or dead-letters.
+    * ``duplicate`` — the message is delivered *and* re-enqueued once,
+      exercising receiver idempotence.
+    * ``delay`` — delivery is postponed ``delay`` virtual seconds
+      without consuming an attempt.
+    """
+
+    action: str
+    service: Optional[str] = None
+    operation: Optional[str] = None
+    nth: int = 1
+    count: int = 1
+    delay: float = 0.5
+
+    def __post_init__(self):
+        if self.action not in (DROP, DUPLICATE, DELAY):
+            raise ValueError(f"unknown message fault action {self.action!r}")
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count are 1-based and positive")
+
+    def matches(self, service: str, operation: str) -> bool:
+        return ((self.service is None or self.service == service)
+                and (self.operation is None or self.operation == operation))
+
+
+@dataclass(frozen=True)
+class StoreFault:
+    """Fail or corrupt shared-store IO touching ``key_prefix``.
+
+    Fires on matching operations number ``nth`` through
+    ``nth + count - 1`` (1-based, counted per fault).  ``fail-write``
+    and ``fail-read`` raise an IO error before any state changes;
+    ``corrupt-read`` models a checksum-detected corrupt block (the read
+    fails rather than silently returning garbage).  All three abort the
+    operation mid-window; the platform rolls back and retries the
+    message per its retry policy.
+    """
+
+    action: str
+    key_prefix: str = ""
+    nth: int = 1
+    count: int = 1
+
+    def __post_init__(self):
+        if self.action not in (FAIL_WRITE, FAIL_READ, CORRUPT_READ):
+            raise ValueError(f"unknown store fault action {self.action!r}")
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count are 1-based and positive")
+
+    def matches(self, key: str) -> bool:
+        return key.startswith(self.key_prefix)
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """Crash, restart or slow a node.
+
+    * ``crash`` at virtual time ``at`` (or on the ``on_persist``-th
+      fiber-state persist cluster-wide, modelling death *during*
+      persistence); ``restart_after`` revives the node that many
+      seconds later (``None`` = never).
+    * ``slow`` multiplies every operation duration on the node by
+      ``factor`` from ``at`` (default 0) for ``duration`` seconds
+      (``None`` = forever).
+
+    ``node`` may be empty: the injector picks one deterministically
+    from the seeded RNG at install time.
+    """
+
+    action: str
+    node: str = ""
+    at: Optional[float] = None
+    restart_after: Optional[float] = 1.0
+    on_persist: Optional[int] = None
+    factor: float = 2.0
+    duration: Optional[float] = None
+
+    def __post_init__(self):
+        if self.action not in (CRASH, SLOW):
+            raise ValueError(f"unknown node fault action {self.action!r}")
+        if self.action == CRASH and self.at is None and self.on_persist is None:
+            raise ValueError("crash fault needs `at` or `on_persist`")
+        if self.action == SLOW and self.factor <= 0:
+            raise ValueError("slow factor must be positive")
+
+
+Fault = Union[MessageFault, StoreFault, NodeFault]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, declarative schedule of faults.
+
+    The plan is pure data; pair it with a seed and compile via
+    :meth:`FaultInjector.install <repro.faults.injector.FaultInjector>`.
+    ``describe()`` and ``to_dict()`` give a stable, human-readable
+    identity for the campaign matrix.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    name: str = ""
+
+    def __init__(self, faults: Sequence[Fault] = (), name: str = ""):
+        object.__setattr__(self, "faults", tuple(faults))
+        object.__setattr__(self, "name", name)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def __add__(self, other: "FaultPlan") -> "FaultPlan":
+        return FaultPlan(self.faults + tuple(other),
+                         name=self.name or other.name)
+
+    def message_faults(self) -> List[MessageFault]:
+        return [f for f in self.faults if isinstance(f, MessageFault)]
+
+    def store_faults(self) -> List[StoreFault]:
+        return [f for f in self.faults if isinstance(f, StoreFault)]
+
+    def node_faults(self) -> List[NodeFault]:
+        return [f for f in self.faults if isinstance(f, NodeFault)]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "faults": [dict(kind=type(f).__name__, **asdict(f))
+                       for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
+        kinds = {"MessageFault": MessageFault, "StoreFault": StoreFault,
+                 "NodeFault": NodeFault}
+        faults = []
+        for entry in data.get("faults", []):
+            entry = dict(entry)
+            kind = kinds[entry.pop("kind")]
+            faults.append(kind(**entry))
+        return cls(faults, name=data.get("name", ""))
+
+    def describe(self) -> str:
+        """One line per fault, a stable campaign fingerprint."""
+        lines = [f"FaultPlan {self.name or '<anonymous>'}:"]
+        for f in self.faults:
+            bits = ", ".join(f"{k}={v!r}" for k, v in asdict(f).items()
+                             if v not in (None, ""))
+            lines.append(f"  {type(f).__name__}({bits})")
+        return "\n".join(lines)

@@ -219,6 +219,12 @@ class VM:
                 except ControlFlowSignal:
                     raise
                 except Exception as exc:  # noqa: BLE001 - routed to conditions
+                    if getattr(exc, "tunnels_through_vm", False):
+                        # platform-level faults (e.g. simulated store
+                        # IO errors) abort the whole operation window
+                        # and are retried by the cluster — they are not
+                        # conditions the workflow program can handle
+                        raise
                     try:
                         self.signal(coerce_condition(exc), error_p=True)
                     except _Transfer as transfer:

@@ -13,6 +13,7 @@ unlike Common Lisp's default read table.
 
 from __future__ import annotations
 
+import contextlib
 import itertools
 import threading
 from typing import Dict
@@ -120,6 +121,26 @@ def intern_keyword(name: str) -> Keyword:
 
 
 _gensym_counter = itertools.count(1)
+
+
+@contextlib.contextmanager
+def gensym_scope(start: int = 1):
+    """Draw gensyms from a fresh counter inside the ``with`` block.
+
+    Compiling the same program always expands to the same gensym names,
+    no matter what else the process compiled before — which keeps
+    serialized fiber state byte-identical across repeated runs (the
+    fault-injection subsystem's replay guarantee depends on it).  Safe
+    because gensym uniqueness only matters *within* one expansion scope:
+    the outer counter is restored, not advanced, on exit.
+    """
+    global _gensym_counter
+    saved = _gensym_counter
+    _gensym_counter = itertools.count(start)
+    try:
+        yield
+    finally:
+        _gensym_counter = saved
 
 
 def gensym(prefix: str = "g") -> Symbol:

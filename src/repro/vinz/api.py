@@ -57,12 +57,20 @@ class VinzEnvironment:
                  taskvar_lock_overhead: float = 0.002,
                  trace: bool = True,
                  placement: str = "balanced",
+                 retry_policy=None,
                  future_executor_factory: Optional[Callable[[], FutureExecutor]] = None):
         self.cluster = cluster if cluster is not None else \
-            Cluster(seed=seed, trace=trace)
+            Cluster(seed=seed, trace=trace, retry_policy=retry_policy)
+        if retry_policy is not None and cluster is not None:
+            self.cluster.retry_policy = retry_policy
         if not self.cluster.nodes:
             self.cluster.add_nodes(nodes, slots=slots)
         self.store = store if store is not None else SharedStore()
+        #: optional FaultInjector (set by FaultInjector.install(env))
+        self.injector = None
+        # dead-lettered fiber messages must fail their task/fiber
+        # through the condition system instead of hanging it
+        self.cluster.dead_letter_listeners.append(self._on_dead_letter)
         self.locks: LockManager
         if locks == "coordinator":
             self.locks = CoordinatorLockManager()
@@ -275,6 +283,13 @@ class VinzEnvironment:
     # failure injection / operations
     # ------------------------------------------------------------------
 
+    def _on_dead_letter(self, message) -> None:
+        """A queue message exhausted its retries: if it drove a fiber,
+        fail that fiber (and possibly its task) so nothing hangs."""
+        workflow = self.workflows.get(message.service)
+        if workflow is not None:
+            workflow.on_message_dead_lettered(message)
+
     def fail_node(self, node_id: str) -> int:
         """Kill a node; expire its lock session (coordinator semantics)."""
         requeued = self.cluster.fail_node(node_id)
@@ -313,6 +328,17 @@ class VinzEnvironment:
         self.fiber_concurrency.change(now, -1)
         self.counters.incr(f"fibers.{fiber.status}")
 
+    def monitor_task_discarded(self, task: TaskRecord, now: float) -> None:
+        """Roll back :meth:`monitor_task_started` after an aborted
+        operation window discarded the freshly created task."""
+        self.task_concurrency.change(now, -1)
+        self.fiber_concurrency.change(now, -1)  # the initial fiber
+        self.counters.incr("tasks.discarded")
+
+    def monitor_fiber_discarded(self, fiber, now: float) -> None:
+        self.fiber_concurrency.change(now, -1)
+        self.counters.incr("fibers.discarded")
+
     # ------------------------------------------------------------------
     # metrics summary
     # ------------------------------------------------------------------
@@ -337,12 +363,20 @@ class VinzEnvironment:
                 "enqueued": self.cluster.queue.enqueued,
                 "delivered": self.cluster.queue.delivered,
                 "redelivered": self.cluster.queue.redelivered,
+                "duplicated": self.cluster.queue.duplicated,
+                "dead_lettered": self.cluster.queue.dead_lettered,
                 "mean_wait": self.cluster.queue.mean_wait(),
             },
             "store": {
                 "writes": self.store.writes,
                 "reads": self.store.reads,
                 "bytes_written": self.store.bytes_written,
+                "faulted_ops": self.store.faulted_ops,
+            },
+            "faults": {
+                "injected": self.cluster.counters.get("fault.injected"),
+                "retries_scheduled": self.cluster.counters.get("retry.scheduled"),
+                "operation_faults": self.cluster.counters.get("operation.faults"),
             },
             "cache": self.cache_hit_rates(),
             "utilization": self.cluster.utilization(),

@@ -51,7 +51,7 @@ from ..gvm.futures import enter_fiber_thread
 from ..gvm.runtime import Runtime
 from ..gvm.vm import Done, Yielded
 from ..lang.errors import GozerRuntimeError
-from ..lang.symbols import Symbol
+from ..lang.symbols import Symbol, gensym_scope
 from . import deflink as deflink_module
 from . import distribution, handlers
 from .cache import FiberCache
@@ -115,6 +115,10 @@ class WorkflowService(Service):
         self.task_var_defaults: Dict[str, Any] = {}
         self.task_var_docs: Dict[str, str] = {}
         self.handler_definitions: Dict[str, handlers.HandlerDefinition] = {}
+        #: Start/Run/Call dedup: queue-message id -> task id, making
+        #: task creation idempotent under at-least-once delivery (a
+        #: duplicated Start must not create a second task)
+        self._task_by_message: Dict[int, str] = {}
         self._register_operations()
 
     # ------------------------------------------------------------------
@@ -127,10 +131,15 @@ class WorkflowService(Service):
         from ..gvm.futures import SynchronousFutureExecutor
 
         self.runtime = Runtime(executor=self.vinz.future_executor_factory())
-        distribution.install(self.runtime, self)
-        handlers.install(self.runtime, self)
-        deflink_module.install(self.runtime, self)
-        self.runtime.eval_string(self.source)
+        # a scoped gensym counter makes compilation deterministic: the
+        # same source always expands to the same gensym names, so
+        # serialized fiber state is byte-identical across runs — the
+        # replay guarantee of the fault-injection subsystem needs this
+        with gensym_scope():
+            distribution.install(self.runtime, self)
+            handlers.install(self.runtime, self)
+            deflink_module.install(self.runtime, self)
+            self.runtime.eval_string(self.source)
         # register every loaded code object so the custom codec can
         # serialize fibers by reference (paper's custom format), and
         # every host function so any codec can pickle it by name
@@ -202,15 +211,42 @@ class WorkflowService(Service):
     def _create_task(self, ctx: OperationContext, params: Any,
                      deadline: Optional[float] = None) -> TaskRecord:
         registry = self.vinz.registry
+        msg_id = getattr(ctx.message, "id", None)
+        if msg_id is not None:
+            existing_id = self._task_by_message.get(msg_id)
+            existing = registry.tasks.get(existing_id) \
+                if existing_id is not None else None
+            if existing is not None:
+                # duplicate delivery of the same creation message:
+                # idempotently return the task it already created
+                ctx.trace("task-start-duplicate", task=existing.id,
+                          msg=msg_id)
+                return existing
         task = registry.new_task(self.name, params, ctx.now)
         task.deadline = deadline
         fiber = registry.new_fiber(task, ctx.now)
+        if msg_id is not None:
+            self._task_by_message[msg_id] = task.id
+        # an aborted window (store fault, node death mid-window) must
+        # not leak a half-created task: the retried Start makes a fresh
+        # one, so discard these records and their monitoring effects
+        monitored = [False]
+
+        def undo_create() -> None:
+            if msg_id is not None \
+                    and self._task_by_message.get(msg_id) == task.id:
+                del self._task_by_message[msg_id]
+            if registry.discard_task(task.id) is not None and monitored[0]:
+                self.vinz.monitor_task_discarded(task, ctx.now)
+
+        ctx.on_abort(undo_create)
         # persist the task's immutable environment once (Section 4.2's
         # immutable data: parameters + workflow identity)
         env_blob = self.codec.dumps({"workflow": self.name, "params": params})
         ctx.charge(self.vinz.store.write(self._task_env_key(task.id), env_blob))
         ctx.trace("task-start", task=task.id, fiber=fiber.id)
         self.vinz.monitor_task_started(task, ctx.now)
+        monitored[0] = True
         ctx.send(self.name, "RunFiber", {"fiber": fiber.id, "task": task.id},
                  priority=self.vinz.message_priority(task, PRIORITY_NORMAL),
                  max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
@@ -224,6 +260,8 @@ class WorkflowService(Service):
     def op_run(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
         task = self._create_task(ctx, body.get("params"),
                                  deadline=body.get("deadline"))
+        if task.finished:  # duplicate delivery after completion
+            return {"task": task.id, "status": task.status}
         deferred = ctx.defer()
         task.completion_listeners.append(
             lambda t: deferred.resolve({"task": t.id, "status": t.status}))
@@ -232,6 +270,11 @@ class WorkflowService(Service):
     def op_call(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
         task = self._create_task(ctx, body.get("params"),
                                  deadline=body.get("deadline"))
+        if task.finished:  # duplicate delivery after completion
+            if task.status == COMPLETED:
+                return task.result
+            raise ServiceFault(self.wsdl.fault_qname("WorkflowFailed"),
+                               task.error or task.status)
         deferred = ctx.defer()
 
         def finish(t: TaskRecord) -> None:
@@ -356,6 +399,15 @@ class WorkflowService(Service):
             return None
         if fiber.finished:
             return None
+        # idempotence under at-least-once delivery: a duplicated
+        # message whose first delivery already advanced the fiber must
+        # not advance it again (aborted windows discard the marker, so
+        # crash redeliveries still replay)
+        msg_id = ctx.message.id
+        if msg_id in fiber.processed_deliveries:
+            ctx.trace("fiber-skip-duplicate", task=task.id, fiber=fiber.id,
+                      msg=msg_id)
+            return None
 
         # single-runner guarantee (Section 4.2): one node at a time.
         # The lock is held for the operation's entire *simulated*
@@ -373,6 +425,8 @@ class WorkflowService(Service):
         release = lambda: self.vinz.locks.release(lock_key, owner)  # noqa: E731
         ctx.on_complete(release)
         ctx.on_abort(release)  # node death must not leave the fiber stuck
+        fiber.processed_deliveries.add(msg_id)
+        ctx.on_abort(lambda: fiber.processed_deliveries.discard(msg_id))
         return self._advance_locked(ctx, task, fiber, resume, value)
 
     # -- the core: load state, run the GVM, act on the outcome ------------
@@ -721,6 +775,12 @@ class WorkflowService(Service):
         self.vinz.counters.add("persist.bytes", len(blob))
         if cache is not None:
             cache.put_continuation(fiber.id, fiber.version, continuation)
+        injector = getattr(self.vinz, "injector", None)
+        if injector is not None:
+            # crash-during-persistence faults fire here: the node dies
+            # with the window open, the abort hooks roll the fiber (and
+            # the just-written blob) back, and the message is requeued
+            injector.on_persist(ctx, fiber)
 
     def _load_continuation(self, ctx: OperationContext,
                            cache: Optional[FiberCache], fiber: FiberRecord):
@@ -736,6 +796,33 @@ class WorkflowService(Service):
         if cache is not None:
             cache.put_continuation(fiber.id, fiber.version, continuation)
         return continuation
+
+    # -- dead-letter handling -----------------------------------------------
+
+    def on_message_dead_lettered(self, message) -> None:
+        """A fiber-lifecycle message exhausted its retry policy.
+
+        The fiber it addressed can never advance again, so fail it
+        through the normal error path: the parent sees a
+        ``child-fiber-error`` condition when collecting (its handlers
+        get their say, Section 3.7), a main fiber fails the whole task
+        (waking synchronous callers with a fault) — nothing hangs.
+        """
+        fiber_id = (message.body or {}).get("fiber")
+        if fiber_id is None:
+            return  # Start/management traffic: the reply fault suffices
+        registry = self.vinz.registry
+        fiber = registry.fibers.get(fiber_id)
+        if fiber is None or fiber.finished:
+            return
+        task = registry.tasks.get(fiber.task_id)
+        if task is None or task.finished:
+            return
+        ctx = _OutOfBandContext(self.vinz.cluster)
+        error = (f"{message.operation} message #{message.id} dead-lettered "
+                 f"after {message.attempts} attempts")
+        self._fiber_failed(ctx, task, fiber, error,
+                           terminate_task=(fiber.parent_id is None))
 
     # -- store keys ---------------------------------------------------------
 
@@ -754,6 +841,26 @@ class WorkflowService(Service):
     @staticmethod
     def _task_var_key(task_id: str, name: str) -> str:
         return f"taskvar/{task_id}/{name}"
+
+
+class _OutOfBandContext:
+    """A minimal OperationContext stand-in for platform-initiated work
+    that happens outside any message window (dead-letter handling).
+    Sends are immediate — there is no operation window to make them
+    transactional with."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    @property
+    def now(self) -> float:
+        return self.cluster.kernel.now
+
+    def send(self, service, operation, body, **kwargs) -> None:
+        self.cluster.send(service, operation, body, **kwargs)
+
+    def trace(self, kind: str, **detail) -> None:
+        self.cluster.trace.record(self.now, kind, **detail)
 
 
 class FiberExecution:
@@ -785,12 +892,23 @@ class FiberExecution:
         child = vinz.registry.new_fiber(self.task, self.ctx.now,
                                         parent_id=self.fiber.id,
                                         notify_parent=notify_parent)
+        # aborted window (store fault / node death): the replayed parent
+        # re-forks, so this child record must not leak
+        monitored = [False]
+
+        def undo_fork() -> None:
+            if vinz.registry.discard_fiber(child.id) is not None \
+                    and monitored[0]:
+                vinz.monitor_fiber_discarded(child, self.ctx.now)
+
+        self.ctx.on_abort(undo_fork)
         blob = self.service.codec.dumps((fn, list(args)))
         self.ctx.charge(vinz.store.write(
             self.service._thunk_key(child.id), blob))
         self.ctx.trace("fiber-fork", task=self.task.id,
                        fiber=self.fiber.id, child=child.id)
         vinz.monitor_fiber_started(child, self.ctx.now)
+        monitored[0] = True
         self.ctx.send(self.service.name, "RunFiber",
                       {"fiber": child.id, "task": self.task.id},
                       priority=self.service.vinz.message_priority(
@@ -811,16 +929,32 @@ class FiberExecution:
         """
         vinz = self.service.vinz
         children: List[str] = []
+        created: List[FiberRecord] = []
+        undo_state = {"monitored": False, "group": None}
+
+        def undo_fork_chain() -> None:
+            for record in created:
+                if vinz.registry.discard_fiber(record.id) is not None \
+                        and undo_state["monitored"]:
+                    vinz.monitor_fiber_discarded(record, self.ctx.now)
+            if undo_state["group"] is not None:
+                self.task.chain_groups.pop(undo_state["group"], None)
+
+        self.ctx.on_abort(undo_fork_chain)
         for item in items:
             child = vinz.registry.new_fiber(self.task, self.ctx.now,
                                             parent_id=self.fiber.id,
                                             notify_parent=False)
+            created.append(child)
             blob = self.service.codec.dumps((fn, [item]))
             self.ctx.charge(vinz.store.write(
                 self.service._thunk_key(child.id), blob))
-            vinz.monitor_fiber_started(child, self.ctx.now)
             children.append(child.id)
+        for record in created:
+            vinz.monitor_fiber_started(record, self.ctx.now)
+        undo_state["monitored"] = True
         group_id = f"chain:{self.fiber.id}:{len(self.task.chain_groups)}"
+        undo_state["group"] = group_id
         limit = max(1, self.spawn_limit())
         pending = children[limit:]
         self.task.chain_groups[group_id] = {

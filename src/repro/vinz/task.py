@@ -96,6 +96,10 @@ class FiberRecord:
     #: queue-message ids already appended to the mailbox — makes
     #: delivery idempotent across message re-deliveries
     seen_deliveries: set = field(default_factory=set)
+    #: queue-message ids whose operation window already advanced this
+    #: fiber — makes RunFiber/AwakeFiber/ResumeFromCall idempotent
+    #: under duplicated (at-least-once) deliveries
+    processed_deliveries: set = field(default_factory=set)
     #: total simulated seconds charged by this fiber's processing
     #: windows (drives :chunk-size :auto sizing)
     total_charged: float = 0.0
@@ -177,6 +181,30 @@ class ProcessRegistry:
         fiber.result = result
         fiber.error = error
         fiber.finished_at = now
+
+    # -- rollback (aborted operation windows) --------------------------------
+
+    def discard_fiber(self, fiber_id: str) -> Optional[FiberRecord]:
+        """Remove a fiber record created inside an aborted operation
+        window: the window's effects never happened, so the record must
+        not survive (the replayed operation will recreate it)."""
+        fiber = self.fibers.pop(fiber_id, None)
+        if fiber is None:
+            return None
+        task = self.tasks.get(fiber.task_id)
+        if task is not None and fiber_id in task.fiber_ids:
+            task.fiber_ids.remove(fiber_id)
+        return fiber
+
+    def discard_task(self, task_id: str) -> Optional[TaskRecord]:
+        """Remove a task (and its fibers) created inside an aborted
+        operation window — the retried Start will create a fresh one."""
+        task = self.tasks.pop(task_id, None)
+        if task is None:
+            return None
+        for fiber_id in list(task.fiber_ids):
+            self.fibers.pop(fiber_id, None)
+        return task
 
     # -- statistics -----------------------------------------------------------
 

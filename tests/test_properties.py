@@ -8,6 +8,20 @@ from hypothesis import strategies as st
 
 from repro.bluebox.messagequeue import MessageQueue
 from repro.bluebox.xmlmsg import XmlElement, element_to_value, value_to_element
+from repro.faults import (
+    CORRUPT_READ,
+    CRASH,
+    DELAY,
+    DROP,
+    DUPLICATE,
+    FAIL_READ,
+    FAIL_WRITE,
+    FaultPlan,
+    MessageFault,
+    NodeFault,
+    StoreFault,
+)
+from repro.faults.campaign import run_campaign
 from repro.gvm.runtime import make_runtime
 from repro.gvm.interpreter import TreeInterpreter
 from repro.lang.printer import print_form
@@ -224,8 +238,67 @@ class TestLruProperties:
 
 
 # ---------------------------------------------------------------------------
+# fault plans: survivability under arbitrary (bounded) fault schedules
+# ---------------------------------------------------------------------------
+
+# Bounded fault strategies.  The bounds keep every generated plan inside
+# the survivable envelope: crashes always restart (eventual capacity)
+# and the worst-case number of policy-counted delivery failures any one
+# message can accumulate (message faults + store-abort retries) stays
+# below the default RetryPolicy's 8 attempts, so no message can be
+# legitimately dead-lettered.
+
+message_faults = st.builds(
+    MessageFault,
+    action=st.sampled_from([DROP, DUPLICATE, DELAY]),
+    nth=st.integers(min_value=1, max_value=6),
+    count=st.integers(min_value=1, max_value=2),
+    delay=st.floats(min_value=0.05, max_value=1.0))
+
+store_faults = st.builds(
+    StoreFault,
+    action=st.sampled_from([FAIL_WRITE, FAIL_READ, CORRUPT_READ]),
+    key_prefix=st.sampled_from(["", "fiber-state/", "fiber-thunk/"]),
+    nth=st.integers(min_value=1, max_value=6),
+    count=st.integers(min_value=1, max_value=2))
+
+node_faults = st.builds(
+    NodeFault,
+    action=st.just(CRASH),
+    at=st.floats(min_value=0.1, max_value=2.0),
+    restart_after=st.floats(min_value=0.5, max_value=2.0))
+
+fault_plans = st.lists(
+    st.one_of(message_faults, store_faults, node_faults),
+    min_size=0, max_size=3,
+).map(lambda faults: FaultPlan(faults, name="generated"))
+
+
+class TestFaultPlanProperties:
+    @given(fault_plans)
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_survivable_plans_complete_all_tasks_correctly(self, plan):
+        """Any bounded fault schedule that leaves eventual capacity:
+        every task completes with the arithmetically correct result,
+        and no message is both completed and dead-lettered."""
+        report = run_campaign(plan, seed=1717, tasks=2, nodes=3)
+        tasks = report.env.registry.tasks
+        assert tasks and all(t.status == "completed"
+                             for t in tasks.values()), report.statuses
+        assert report.wrong_results() == []
+        completed_msgs = {e.detail["msg"]
+                          for e in report.env.cluster.trace.events
+                          if e.kind == "complete" and "msg" in e.detail}
+        dead = set(report.env.cluster.queue.dead_letter_ids())
+        assert completed_msgs.isdisjoint(dead)
+        assert report.dead_lettered == 0
+
+
+# ---------------------------------------------------------------------------
 # randomized yield placement (continuation transparency, the hard way)
 # ---------------------------------------------------------------------------
+
 
 class TestRandomYieldPlacement:
     """Generate programs that interleave arithmetic with yields at
