@@ -23,12 +23,14 @@ import random
 from typing import Any, Callable, Dict, List, Optional
 
 from ..faults.retry import RetryPolicy
+from ..observe import MetricsRegistry, SpanTracer
 from .clock import SimKernel
 from .messagequeue import (
     Message,
     MessageQueue,
     PRIORITY_NORMAL,
     ReplyTo,
+    _trace_ids,
 )
 from .monitoring import (
     Counters,
@@ -96,6 +98,8 @@ class _InFlight:
         self.started = started
         self.valid = True
         self.context: Optional[OperationContext] = None
+        #: the operation-window span (0 when tracing is disabled)
+        self.span_id = 0
 
 
 class Cluster:
@@ -111,9 +115,18 @@ class Cluster:
 
     def __init__(self, seed: int = 0, delivery_latency: float = 0.002,
                  redelivery_delay: float = 0.05, trace: bool = True,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 spans: Optional[bool] = None):
         self.kernel = SimKernel()
         self.queue = MessageQueue()
+        #: causal span tracing (repro.observe); follows ``trace`` unless
+        #: set explicitly.  Hot paths guard on the single ``enabled``
+        #: flag, so a disabled tracer allocates nothing.
+        self.tracer = SpanTracer(enabled=trace if spans is None else spans)
+        self.metrics = MetricsRegistry(enabled=self.tracer.enabled)
+        self.queue.tracer = self.tracer
+        self.queue.metrics = self.metrics
+        self.queue.now_fn = lambda: self.kernel.now
         self.rng = random.Random(seed)
         self.delivery_latency = delivery_latency
         self.redelivery_delay = redelivery_delay
@@ -186,8 +199,14 @@ class Cluster:
              reply_to: Optional[ReplyTo] = None,
              max_attempts: int = 10,
              affinity: Optional[str] = None,
-             retry_policy: Optional[RetryPolicy] = None) -> Message:
-        """Place a message on the queue (asynchronous)."""
+             retry_policy: Optional[RetryPolicy] = None,
+             parent_span: int = 0) -> Message:
+        """Place a message on the queue (asynchronous).
+
+        ``parent_span`` is the causal span that initiated this send
+        (the sender's operation window or fiber run); the message's
+        queue-hop span becomes its child.
+        """
         if service not in self.services:
             raise KeyError(f"no service named {service!r} is deployed")
         message = self.queue.make_message(service, operation, body,
@@ -196,7 +215,8 @@ class Cluster:
                                           now=self.kernel.now,
                                           max_attempts=max_attempts,
                                           affinity=affinity,
-                                          retry_policy=retry_policy)
+                                          retry_policy=retry_policy,
+                                          parent_span=parent_span)
         self.queue.enqueue(message, self.kernel.now)
         self.trace.record(self.kernel.now, "enqueue", service=service,
                           operation=operation, msg=message.id,
@@ -296,6 +316,10 @@ class Cluster:
         message = self.queue.pop_next(service_name, self.kernel.now)
         if message is None:  # pragma: no cover - guarded by peek
             return False
+        # the hop span this delivery belongs to — captured now because a
+        # duplicate-injection push_back below re-points message.span_id
+        # at the duplicate's own fresh hop span
+        hop_span = message.span_id
         if self.injector is not None:
             decision = self.injector.on_deliver(message)
             if decision is not None:
@@ -322,7 +346,7 @@ class Cluster:
                 self.counters.incr("placement.affinity-hit")
             else:
                 self.counters.incr("placement.affinity-miss")
-        self._process(instance, message)
+        self._process(instance, message, hop_span=hop_span)
         return True
 
     def _kick_node(self, node: Node) -> None:
@@ -366,7 +390,8 @@ class Cluster:
         pool = [c for c in candidates if c.node.busy == least]
         return self.rng.choice(pool)
 
-    def _process(self, instance: ServiceInstance, message: Message) -> None:
+    def _process(self, instance: ServiceInstance, message: Message,
+                 hop_span: int = 0) -> None:
         node = instance.node
         node.busy += 1
         started = self.kernel.now
@@ -377,6 +402,12 @@ class Cluster:
                           node=node.id, **_trace_ids(message.body))
         context = OperationContext(self, instance, message)
         record.context = context
+        if self.tracer.enabled:
+            record.span_id = self.tracer.begin(
+                f"op:{message.service}.{message.operation}", kind="operation",
+                start=started, parent_id=hop_span or None, node=node.id,
+                msg=message.id, **_trace_ids(message.body))
+            context.span_id = record.span_id
         try:
             value = instance.service.handle(context, message.operation,
                                             message.body)
@@ -431,6 +462,9 @@ class Cluster:
                               service=message.service,
                               operation=message.operation, msg=message.id,
                               node=node.id)
+            if record.span_id:
+                self.tracer.end(record.span_id, end=self.kernel.now,
+                                requeued=True)
             delay = envelope.value.delay
             if self.queue.requeue(message, self.kernel.now):
                 self.kernel.schedule(max(delay, 0.0),
@@ -442,14 +476,19 @@ class Cluster:
         self.trace.record(self.kernel.now, "complete", service=message.service,
                           operation=message.operation, msg=message.id,
                           node=node.id, ok=envelope.ok)
+        if record.span_id:
+            self.tracer.end(record.span_id, end=self.kernel.now,
+                            ok=envelope.ok)
         if isinstance(envelope.value, Deferred):
             pass  # reply postponed; the Deferred resolves it later
         elif message.reply_to is not None:
-            self._route_reply(message.reply_to, envelope)
+            self._route_reply(message.reply_to, envelope,
+                              parent_span=record.span_id)
         # the freed slot may unblock any service on this node
         self._kick_node(node)
 
-    def _route_reply(self, reply_to: ReplyTo, envelope: ResponseEnvelope) -> None:
+    def _route_reply(self, reply_to: ReplyTo, envelope: ResponseEnvelope,
+                     parent_span: int = 0) -> None:
         body = envelope.to_body()
         if reply_to.callback is not None:
             callback = reply_to.callback
@@ -459,7 +498,8 @@ class Cluster:
         merged = dict(reply_to.extra)
         merged["response"] = body
         self.send(reply_to.service, reply_to.operation, merged,
-                  max_attempts=1_000_000, affinity=reply_to.affinity)
+                  max_attempts=1_000_000, affinity=reply_to.affinity,
+                  parent_span=parent_span)
 
     # ------------------------------------------------------------------
     # retry / dead-letter machinery
@@ -478,6 +518,9 @@ class Cluster:
         if record.context is not None:
             for hook in record.context.abort_hooks:
                 hook()
+        if record.span_id:
+            self.tracer.end(record.span_id, end=self.kernel.now,
+                            aborted=True, error=reason)
         self.trace.record(self.kernel.now, OPERATION_FAULT,
                           service=record.message.service,
                           operation=record.message.operation,
@@ -530,7 +573,8 @@ class Cluster:
             self._route_reply(message.reply_to, ResponseEnvelope(
                 fault_qname="{urn:bluebox}DeadLettered",
                 fault_message=f"{message.service}.{message.operation} "
-                              f"dead-lettered: {reason}"))
+                              f"dead-lettered: {reason}"),
+                parent_span=message.origin_span_id)
         for listener in self.dead_letter_listeners:
             listener(message)
 
@@ -558,6 +602,9 @@ class Cluster:
                 self.trace.record(self.kernel.now, "instance-failure",
                                   node=node.id, msg=message.id,
                                   operation=message.operation)
+                if record.span_id:
+                    self.tracer.end(record.span_id, end=self.kernel.now,
+                                    aborted=True, error="node-failure")
                 if self.queue.requeue(message, self.kernel.now):
                     requeued += 1
                     service = message.service
@@ -592,12 +639,3 @@ class Cluster:
         capacity = sum(n.slots for n in self.nodes.values()) * now
         busy = sum(n.busy_time for n in self.nodes.values())
         return busy / capacity if capacity else 0.0
-
-
-def _trace_ids(body: Dict[str, Any]) -> Dict[str, Any]:
-    """Pull workflow identifiers out of a body for trace readability."""
-    out = {}
-    for key in ("task", "fiber"):
-        if key in body:
-            out[key] = body[key]
-    return out

@@ -74,6 +74,13 @@ class Message:
     #: optional per-message RetryPolicy (repro.faults.retry); None
     #: falls back to the cluster's platform policy
     retry_policy: Optional[Any] = None
+    #: causal-tracing headers (repro.observe): the span that caused
+    #: this send, the current queue-hop span, and the *first* hop span
+    #: (retries parent to it, so redeliveries stay linked to the
+    #: original lifetime).  0 everywhere when tracing is disabled.
+    parent_span: int = 0
+    span_id: int = 0
+    origin_span_id: int = 0
 
     def __repr__(self) -> str:
         return (f"<Message #{self.id} {self.service}.{self.operation} "
@@ -95,6 +102,13 @@ class MessageQueue:
         #: messages whose retry policy is exhausted, kept for
         #: inspection and operator replay (never silently discarded)
         self.dead_letters: List[Message] = []
+        #: observability wiring (set by the owning Cluster): the causal
+        #: span tracer, the metrics registry, and a virtual-clock read.
+        #: The queue owns the queue-hop span lifecycle: a hop opens at
+        #: enqueue/push-back and closes at delivery.
+        self.tracer = None
+        self.metrics = None
+        self.now_fn: Optional[Callable[[], float]] = None
         # statistics
         self.enqueued = 0
         self.delivered = 0
@@ -110,13 +124,34 @@ class MessageQueue:
                      now: float = 0.0,
                      max_attempts: int = 10,
                      affinity: Optional[str] = None,
-                     retry_policy: Optional[Any] = None) -> Message:
+                     retry_policy: Optional[Any] = None,
+                     parent_span: int = 0) -> Message:
         return Message(id=next(self._ids), service=service,
                        operation=operation, body=dict(body),
                        priority=priority, reply_to=reply_to,
                        enqueued_at=now, max_attempts=max_attempts,
                        affinity=affinity, first_enqueued_at=now,
-                       retry_policy=retry_policy)
+                       retry_policy=retry_policy, parent_span=parent_span)
+
+    def _begin_hop(self, message: Message, now: float,
+                   retry: bool = False) -> None:
+        """Open a queue-hop span for one stay on the queue.  A retry
+        hop parents to the message's *original* hop, keeping fault
+        redeliveries attached to the lifetime they belong to."""
+        if retry and message.origin_span_id:
+            parent = message.origin_span_id
+            extra = {"attempt": message.attempts,
+                     "retry_of": message.origin_span_id}
+        else:
+            parent = message.parent_span
+            extra = {}
+        message.span_id = self.tracer.begin(
+            f"hop:{message.service}.{message.operation}", kind="queue-hop",
+            start=now, parent_id=parent or None, msg=message.id,
+            service=message.service, operation=message.operation,
+            **_trace_ids(message.body), **extra)
+        if not message.origin_span_id:
+            message.origin_span_id = message.span_id
 
     def peek_message(self, service: str) -> Optional[Message]:
         """The next message for ``service``, without popping it."""
@@ -130,6 +165,8 @@ class MessageQueue:
         heap = self._queues.setdefault(message.service, [])
         heapq.heappush(heap, (message.priority, next(self._seq), message))
         self.enqueued += 1
+        if self.tracer is not None and self.tracer.enabled:
+            self._begin_hop(message, now)
 
     def requeue(self, message: Message, now: float,
                 cap: Optional[int] = None, push: bool = True) -> bool:
@@ -157,6 +194,10 @@ class MessageQueue:
         delivery-delay faults, duplicate deliveries)."""
         heap = self._queues.setdefault(message.service, [])
         heapq.heappush(heap, (message.priority, next(self._seq), message))
+        if self.tracer is not None and self.tracer.enabled:
+            now = self.now_fn() if self.now_fn is not None \
+                else message.enqueued_at
+            self._begin_hop(message, now, retry=True)
 
     def dead_letter(self, message: Message) -> None:
         """Move a message to the dead-letter queue.
@@ -168,6 +209,12 @@ class MessageQueue:
         self.dropped += 1
         self.dead_lettered += 1
         self.dead_letters.append(message)
+        if self.tracer is not None and self.tracer.enabled \
+                and message.origin_span_id:
+            now = self.now_fn() if self.now_fn is not None \
+                else message.enqueued_at
+            self.tracer.annotate(message.origin_span_id, now, "dead-letter",
+                                 msg=message.id, attempts=message.attempts)
 
     def dead_letter_ids(self) -> List[int]:
         return [m.id for m in self.dead_letters]
@@ -179,7 +226,13 @@ class MessageQueue:
             return None
         _prio, _seq, message = heapq.heappop(heap)
         self.delivered += 1
-        self.wait_times.append(now - message.enqueued_at)
+        wait = now - message.enqueued_at
+        self.wait_times.append(wait)
+        if self.metrics is not None and self.metrics.enabled:
+            self.metrics.histogram("queue.wait").observe(wait)
+        if self.tracer is not None and self.tracer.enabled \
+                and message.span_id:
+            self.tracer.end(message.span_id, end=now, wait=wait)
         return message
 
     def peek_depth(self, service: str) -> int:
@@ -203,3 +256,12 @@ class MessageQueue:
         if not self.wait_times:
             return 0.0
         return sum(self.wait_times) / len(self.wait_times)
+
+
+def _trace_ids(body: Dict[str, Any]) -> Dict[str, Any]:
+    """Pull workflow identifiers out of a body for trace readability."""
+    out = {}
+    for key in ("task", "fiber"):
+        if key in body:
+            out[key] = body[key]
+    return out

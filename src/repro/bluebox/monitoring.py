@@ -9,6 +9,7 @@ the Figure-1 bench renders the sequence for one task.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -46,18 +47,35 @@ class TraceEvent:
         return f"[{self.time:10.3f}] {self.kind} {bits}"
 
 
+class TraceTruncatedError(RuntimeError):
+    """A replay assertion was attempted on a truncated trace.
+
+    A capacity-bounded :class:`TraceLog` that dropped events cannot
+    vouch for bit-identical replay — comparing signatures of truncated
+    streams would pass vacuously.
+    """
+
+
 class TraceLog:
-    """An append-only event log with simple querying."""
+    """An append-only event log with simple querying.
+
+    When ``capacity`` is bounded, events past the cap are counted in
+    ``dropped`` rather than silently discarded, and
+    :meth:`signature` refuses to fingerprint the truncated stream.
+    """
 
     def __init__(self, enabled: bool = True, capacity: Optional[int] = None):
         self.enabled = enabled
         self.capacity = capacity
         self.events: List[TraceEvent] = []
+        #: events rejected because the log was full
+        self.dropped = 0
 
     def record(self, time: float, kind: str, **detail: Any) -> None:
         if not self.enabled:
             return
         if self.capacity is not None and len(self.events) >= self.capacity:
+            self.dropped += 1
             return
         self.events.append(TraceEvent(time, kind, detail))
 
@@ -73,12 +91,28 @@ class TraceLog:
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Log health for summaries: event count, capacity, drops."""
+        return {"events": len(self.events), "capacity": self.capacity,
+                "dropped": self.dropped}
 
     def signature(self, *kinds: str) -> Tuple[Tuple[Any, ...], ...]:
         """A hashable, order-preserving fingerprint of the event
         sequence, for bit-identical replay assertions: two runs of the
         same seeded fault campaign must produce equal signatures.
-        Restrict to specific ``kinds`` to compare a sub-stream."""
+        Restrict to specific ``kinds`` to compare a sub-stream.
+
+        Raises :class:`TraceTruncatedError` if events were dropped —
+        a fingerprint of a truncated stream would let replay
+        assertions pass vacuously.
+        """
+        if self.dropped:
+            raise TraceTruncatedError(
+                f"trace log dropped {self.dropped} events "
+                f"(capacity={self.capacity}); its signature would not "
+                f"cover the full event stream")
         events = self.events if not kinds else self.of_kind(*kinds)
         return tuple(
             (e.time, e.kind, tuple(sorted((k, repr(v))
@@ -92,17 +126,25 @@ class TraceLog:
 
 
 class Counters:
-    """Named monotonically increasing counters and simple gauges."""
+    """Named monotonically increasing counters and simple gauges.
+
+    Mutation is lock-guarded: the read-modify-write on the plain dicts
+    races in real-threaded cluster mode, and fault-campaign summary
+    counters must be exact, not approximately right.
+    """
 
     def __init__(self):
         self.counts: Dict[str, int] = {}
         self.sums: Dict[str, float] = {}
+        self._lock = threading.Lock()
 
     def incr(self, name: str, amount: int = 1) -> None:
-        self.counts[name] = self.counts.get(name, 0) + amount
+        with self._lock:
+            self.counts[name] = self.counts.get(name, 0) + amount
 
     def add(self, name: str, amount: float) -> None:
-        self.sums[name] = self.sums.get(name, 0.0) + amount
+        with self._lock:
+            self.sums[name] = self.sums.get(name, 0.0) + amount
 
     def get(self, name: str) -> int:
         return self.counts.get(name, 0)
@@ -115,23 +157,31 @@ class Counters:
         return self.sums.get(sum_name, 0.0) / n if n else 0.0
 
     def snapshot(self) -> Dict[str, Any]:
-        return {"counts": dict(self.counts), "sums": dict(self.sums)}
+        with self._lock:
+            return {"counts": dict(self.counts), "sums": dict(self.sums)}
 
 
 class ConcurrencySampler:
     """Tracks a time-weighted concurrency profile.
 
     Used by the production-day bench (S5a) to report how many tasks and
-    fibers were simultaneously in flight.
+    fibers were simultaneously in flight.  The mean is taken over the
+    elapsed time since the *first sample*, not since absolute t=0 —
+    a clock that doesn't start at zero (``VirtualClock(start=...)``,
+    real-clock mode) must not dilute the average.
     """
 
     def __init__(self):
         self._level = 0
+        self._start: Optional[float] = None
         self._last_time = 0.0
         self._area = 0.0
         self.peak = 0
 
     def change(self, now: float, delta: int) -> None:
+        if self._start is None:
+            self._start = now
+            self._last_time = now
         self._area += self._level * (now - self._last_time)
         self._last_time = now
         self._level += delta
@@ -142,5 +192,8 @@ class ConcurrencySampler:
         return self._level
 
     def mean_until(self, now: float) -> float:
+        if self._start is None:
+            return 0.0
         area = self._area + self._level * (now - self._last_time)
-        return area / now if now > 0 else 0.0
+        elapsed = now - self._start
+        return area / elapsed if elapsed > 0 else 0.0

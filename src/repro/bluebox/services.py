@@ -48,6 +48,11 @@ class OperationContext:
         self.instance = instance
         self.message = message
         self.charged = 0.0
+        #: the current causal span (the operation window, or — while a
+        #: fiber advances — its fiber-run span).  Sends from this
+        #: context parent their queue-hop spans here; 0 when tracing
+        #: is disabled.
+        self.span_id = 0
         #: buffered outgoing messages: (extra_delay, send kwargs).
         #: Flushed when the simulated window ends — message sends are
         #: transactional with the operation, so a node failure
@@ -87,15 +92,22 @@ class OperationContext:
              reply_to: Optional[ReplyTo] = None,
              max_attempts: int = 10,
              affinity: Optional[str] = None,
-             retry_policy: Optional[Any] = None) -> None:
+             retry_policy: Optional[Any] = None,
+             parent_span: Optional[int] = None) -> None:
         """Queue a message, to be placed on the queue when this
-        operation's simulated processing window ends."""
+        operation's simulated processing window ends.  The outgoing
+        message's causal parent is captured *now* (``parent_span``
+        defaulting to the context's current span), so causality is
+        preserved even though the send is deferred to window end."""
         self.outbox.append((0.0, dict(service=service, operation=operation,
                                       body=body, priority=priority,
                                       reply_to=reply_to,
                                       max_attempts=max_attempts,
                                       affinity=affinity,
-                                      retry_policy=retry_policy)))
+                                      retry_policy=retry_policy,
+                                      parent_span=(self.span_id
+                                                   if parent_span is None
+                                                   else parent_span))))
 
     def send_later(self, delay: float, service: str, operation: str,
                    body: Dict[str, Any],
@@ -105,7 +117,8 @@ class OperationContext:
         the window ends (used for timers like workflow-sleep)."""
         self.outbox.append((delay, dict(service=service, operation=operation,
                                         body=body, priority=priority,
-                                        affinity=affinity)))
+                                        affinity=affinity,
+                                        parent_span=self.span_id)))
 
     def flush_outbox(self) -> None:
         """Dispatch buffered sends (called by the cluster at window

@@ -90,7 +90,7 @@ class FaultInjector:
     # observability
     # ------------------------------------------------------------------
 
-    def _record(self, action: str, **detail: Any) -> None:
+    def _record(self, action: str, span: int = 0, **detail: Any) -> None:
         self.injected[action] = self.injected.get(action, 0) + 1
         if self.env is not None:
             cluster = self.env.cluster
@@ -98,6 +98,11 @@ class FaultInjector:
                                  action=action, **detail)
             cluster.counters.incr("fault.injected")
             cluster.counters.incr(f"fault.injected.{action}")
+            if span and cluster.tracer.enabled:
+                # faults become annotations on the span they hit, so a
+                # rendered task tree shows exactly where chaos struck
+                cluster.tracer.annotate(span, cluster.kernel.now,
+                                        f"fault.{action}", **detail)
 
     def total_injected(self) -> int:
         return sum(self.injected.values())
@@ -140,7 +145,7 @@ class FaultInjector:
                           operation=message.operation)
             if action == DELAY:
                 detail["delay"] = delay
-            self._record(action, **detail)
+            self._record(action, span=message.span_id, **detail)
         return decision
 
     # ------------------------------------------------------------------
@@ -209,8 +214,10 @@ class FaultInjector:
                     and fault.on_persist == self.persists:
                 node = ctx.node
                 if node.alive:
-                    self._record("crash-on-persist", node=node.id,
-                                 fiber=fiber.id, persist=self.persists)
+                    self._record("crash-on-persist",
+                                 span=getattr(ctx, "span_id", 0),
+                                 node=node.id, fiber=fiber.id,
+                                 persist=self.persists)
                     self.env.fail_node(node.id)
                     if fault.restart_after is not None:
                         self.env.cluster.kernel.schedule(

@@ -127,6 +127,10 @@ class VM:
         self._loop_bases: set = set()
         #: instruction counter, for the GVM benchmarks
         self.instruction_count = 0
+        #: profiling hook: called with the number of instructions one
+        #: top-level run executed (set by Vinz to feed the per-fiber-run
+        #: instruction histogram); a single None-check on the exit path
+        self.profile_sink: Optional[Callable] = None
         #: hook for Vinz: called with the VM before each yield capture
         self.pre_yield_hook: Optional[Callable] = None
         #: debugging: called as hook(frame, op, arg) before every
@@ -181,6 +185,7 @@ class VM:
 
     def _run_top(self, frame: Optional[Frame]):
         """Drive the outermost loop; translate yield into a result."""
+        count_before = self.instruction_count
         try:
             if frame is not None:
                 value = self._execute_loop(frame)
@@ -193,6 +198,8 @@ class VM:
             if not self.frames:
                 self.handlers.clear()
                 self.restarts.clear()
+            if self.profile_sink is not None:
+                self.profile_sink(self.instruction_count - count_before)
 
     def _execute_loop(self, frame: Optional[Frame], base: Optional[int] = None) -> Any:
         """Run until the frame at ``base`` returns; give back its value."""

@@ -62,3 +62,40 @@ def ratio_check(name: str, measured: float, expected: float,
     flag = "OK" if ok else "OUT-OF-BAND"
     return (f"   {name}: measured={format_value(measured)} "
             f"expected≈{format_value(expected)} [{flag}]")
+
+
+def observability_tables(env) -> str:
+    """The environment's observability report (repro.observe) rendered
+    in the harness table format: histogram percentiles, span counts by
+    kind, trace-log health and cache hit rates."""
+    report = env.observability_report()
+    blocks = []
+    hists = report["metrics"]["histograms"]
+    if hists:
+        blocks.append(table(
+            "Metrics (histograms)",
+            ["name", "count", "mean", "p50", "p95", "p99", "max"],
+            [(name, h["count"], h["mean"], h["p50"], h["p95"], h["p99"],
+              h["max"]) for name, h in sorted(hists.items())]))
+    spans = report["spans"]
+    if spans["created"]:
+        blocks.append(table(
+            "Spans", ["kind", "count"],
+            sorted(spans["by_kind"].items())))
+    blocks.append(table(
+        "Caches", ["cache", "hit rate"],
+        sorted(report["cache_hit_rates"].items())))
+    log = report["trace_log"]
+    blocks.append(f"trace log: {log['events']} events, "
+                  f"{log['dropped']} dropped "
+                  f"(virtual time {format_value(report['virtual_time'])}s)")
+    return "\n\n".join(blocks)
+
+
+def write_json_report(env, path: str) -> str:
+    """Publish the plain-JSON observability report; returns the path."""
+    import json
+
+    with open(path, "w") as fh:
+        json.dump(env.observability_report(), fh, indent=1, default=repr)
+    return path

@@ -56,11 +56,13 @@ class VinzEnvironment:
                  lock_quirk_delay: float = 0.0,
                  taskvar_lock_overhead: float = 0.002,
                  trace: bool = True,
+                 spans: Optional[bool] = None,
                  placement: str = "balanced",
                  retry_policy=None,
                  future_executor_factory: Optional[Callable[[], FutureExecutor]] = None):
         self.cluster = cluster if cluster is not None else \
-            Cluster(seed=seed, trace=trace, retry_policy=retry_policy)
+            Cluster(seed=seed, trace=trace, retry_policy=retry_policy,
+                    spans=spans)
         if retry_policy is not None and cluster is not None:
             self.cluster.retry_policy = retry_policy
         if not self.cluster.nodes:
@@ -118,6 +120,16 @@ class VinzEnvironment:
         # concurrency profiling for the production bench
         self.task_concurrency = ConcurrencySampler()
         self.fiber_concurrency = ConcurrencySampler()
+
+    @property
+    def tracer(self):
+        """The cluster's causal span tracer (repro.observe)."""
+        return self.cluster.tracer
+
+    @property
+    def metrics(self):
+        """The cluster's metrics registry (repro.observe)."""
+        return self.cluster.metrics
 
     # ------------------------------------------------------------------
     # deployment
@@ -319,6 +331,9 @@ class VinzEnvironment:
         self.counters.incr(f"tasks.{task.status}")
         if task.duration is not None:
             self.counters.add("tasks.total_duration", task.duration)
+        if task.span_id:
+            self.cluster.tracer.end(task.span_id, end=now,
+                                    status=task.status)
 
     def monitor_fiber_started(self, fiber, now: float) -> None:
         self.fiber_concurrency.change(now, +1)
@@ -327,6 +342,9 @@ class VinzEnvironment:
     def monitor_fiber_finished(self, fiber, now: float) -> None:
         self.fiber_concurrency.change(now, -1)
         self.counters.incr(f"fibers.{fiber.status}")
+        if fiber.span_id:
+            self.cluster.tracer.end(fiber.span_id, end=now,
+                                    status=fiber.status)
 
     def monitor_task_discarded(self, task: TaskRecord, now: float) -> None:
         """Roll back :meth:`monitor_task_started` after an aborted
@@ -382,4 +400,12 @@ class VinzEnvironment:
             "utilization": self.cluster.utilization(),
             "peak_task_concurrency": self.task_concurrency.peak,
             "peak_fiber_concurrency": self.fiber_concurrency.peak,
+            "trace": self.cluster.trace.snapshot(),
+            "spans": self.cluster.tracer.summary(),
         }
+
+    def observability_report(self) -> Dict[str, Any]:
+        """The plain-JSON observability report: metrics percentiles,
+        span summary, trace-log health, cache hit rates."""
+        from ..observe.export import json_report
+        return json_report(self)

@@ -26,9 +26,18 @@ from typing import Any, Generic, Hashable, Optional, Tuple, TypeVar
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
+#: cache-miss sentinel: distinguishes "not cached" from "cached None".
+#: A task whose immutable environment is legitimately ``None`` must be
+#: a cache *hit* — treating it as a miss re-fetches from the store on
+#: every delivery and skews the hit-rate statistics.
+MISS = object()
+
 
 class LruCache(Generic[K, V]):
     """A small LRU cache with hit/miss statistics."""
+
+    #: class-level alias for callers: ``cache.get(k, LruCache.MISS)``
+    MISS = MISS
 
     def __init__(self, capacity: int = 256):
         self.capacity = capacity
@@ -36,13 +45,20 @@ class LruCache(Generic[K, V]):
         self.hits = 0
         self.misses = 0
 
-    def get(self, key: K) -> Optional[V]:
+    def get(self, key: K, default: Any = None) -> Optional[V]:
+        """The cached value, or ``default`` on a miss.  Pass
+        :data:`MISS` as the default when cached ``None`` values must be
+        distinguishable from absence."""
         if key in self._data:
             self._data.move_to_end(key)
             self.hits += 1
             return self._data[key]
         self.misses += 1
-        return None
+        return default
+
+    def __contains__(self, key: K) -> bool:
+        """Presence test; does not touch LRU order or statistics."""
+        return key in self._data
 
     def put(self, key: K, value: V) -> None:
         self._data[key] = value
@@ -73,19 +89,23 @@ class FiberCache:
     correctly loses the cache.
     """
 
+    #: module-level miss sentinel, re-exported for callers
+    MISS = MISS
+
     def __init__(self, mutable_capacity: int = 256,
                  immutable_capacity: int = 1024):
         self.mutable: LruCache[Tuple[str, int], Any] = LruCache(mutable_capacity)
         self.immutable: LruCache[str, Any] = LruCache(immutable_capacity)
 
-    def get_continuation(self, fiber_id: str, version: int) -> Optional[Any]:
-        return self.mutable.get((fiber_id, version))
+    def get_continuation(self, fiber_id: str, version: int,
+                         default: Any = None) -> Optional[Any]:
+        return self.mutable.get((fiber_id, version), default)
 
     def put_continuation(self, fiber_id: str, version: int, state: Any) -> None:
         self.mutable.put((fiber_id, version), state)
 
-    def get_task_env(self, task_id: str) -> Optional[Any]:
-        return self.immutable.get(task_id)
+    def get_task_env(self, task_id: str, default: Any = None) -> Optional[Any]:
+        return self.immutable.get(task_id, default)
 
     def put_task_env(self, task_id: str, env: Any) -> None:
         self.immutable.put(task_id, env)

@@ -188,6 +188,9 @@ class FiberCodec:
         self.decoded = 0
         self.raw_bytes = 0
         self.stored_bytes = 0
+        #: optional MetricsRegistry (repro.observe) for blob-size
+        #: histograms; set by the owning WorkflowService
+        self.metrics = None
 
     # -- encode ---------------------------------------------------------
 
@@ -205,6 +208,11 @@ class FiberCodec:
         self.raw_bytes += len(raw)
         blob = MAGIC + self.NAMES[self.codec] + payload
         self.stored_bytes += len(blob)
+        if self.metrics is not None and self.metrics.enabled:
+            from ..observe.metrics import DEFAULT_SIZE_BUCKETS
+            self.metrics.histogram(
+                "codec.encode_bytes",
+                buckets=DEFAULT_SIZE_BUCKETS).observe(len(blob))
         return blob
 
     # -- decode ---------------------------------------------------------
@@ -223,6 +231,11 @@ class FiberCodec:
         else:
             raise ValueError(f"unknown codec byte {codec!r}")
         self.decoded += 1
+        if self.metrics is not None and self.metrics.enabled:
+            from ..observe.metrics import DEFAULT_SIZE_BUCKETS
+            self.metrics.histogram(
+                "codec.decode_bytes",
+                buckets=DEFAULT_SIZE_BUCKETS).observe(len(blob))
         return state
 
     # -- helpers ----------------------------------------------------------

@@ -52,6 +52,7 @@ from ..gvm.runtime import Runtime
 from ..gvm.vm import Done, Yielded
 from ..lang.errors import GozerRuntimeError
 from ..lang.symbols import Symbol, gensym_scope
+from ..observe.metrics import exponential_buckets
 from . import deflink as deflink_module
 from . import distribution, handlers
 from .cache import FiberCache
@@ -66,6 +67,9 @@ from .task import (
 )
 
 _S = Symbol
+
+#: histogram buckets for per-advancement GVM instruction counts
+INSTRUCTION_BUCKETS = exponential_buckets(1, 2.0, 24)
 
 
 class WorkflowService(Service):
@@ -111,6 +115,9 @@ class WorkflowService(Service):
         #: target per-chunk duration for :chunk-size :auto (seconds)
         self.auto_chunk_target = auto_chunk_target
         self.codec = FiberCodec(codec)
+        # blob-size histograms flow into the cluster's metrics registry
+        self.codec.metrics = getattr(
+            getattr(vinz_env, "cluster", None), "metrics", None)
         self.runtime: Optional[Runtime] = None
         self.task_var_defaults: Dict[str, Any] = {}
         self.task_var_docs: Dict[str, str] = {}
@@ -227,6 +234,18 @@ class WorkflowService(Service):
         fiber = registry.new_fiber(task, ctx.now)
         if msg_id is not None:
             self._task_by_message[msg_id] = task.id
+        tracer = ctx.cluster.tracer
+        if tracer.enabled:
+            # the roots of this task's causal tree: the task span hangs
+            # off whatever caused the Start (the creating op window),
+            # and the initial fiber span hangs off the task span
+            task.span_id = tracer.begin(
+                f"task:{task.id}", kind="task", start=ctx.now,
+                parent_id=getattr(ctx, "span_id", 0) or None,
+                task=task.id, workflow=self.name)
+            fiber.span_id = tracer.begin(
+                f"fiber:{fiber.id}", kind="fiber", start=ctx.now,
+                parent_id=task.span_id, task=task.id, fiber=fiber.id)
         # an aborted window (store fault, node death mid-window) must
         # not leak a half-created task: the retried Start makes a fresh
         # one, so discard these records and their monitoring effects
@@ -236,8 +255,14 @@ class WorkflowService(Service):
             if msg_id is not None \
                     and self._task_by_message.get(msg_id) == task.id:
                 del self._task_by_message[msg_id]
-            if registry.discard_task(task.id) is not None and monitored[0]:
-                self.vinz.monitor_task_discarded(task, ctx.now)
+            if registry.discard_task(task.id) is not None:
+                if monitored[0]:
+                    self.vinz.monitor_task_discarded(task, ctx.now)
+                if task.span_id:
+                    tracer.end(fiber.span_id, end=ctx.now,
+                               status="discarded")
+                    tracer.end(task.span_id, end=ctx.now,
+                               status="discarded")
 
         ctx.on_abort(undo_create)
         # persist the task's immutable environment once (Section 4.2's
@@ -249,7 +274,8 @@ class WorkflowService(Service):
         monitored[0] = True
         ctx.send(self.name, "RunFiber", {"fiber": fiber.id, "task": task.id},
                  priority=self.vinz.message_priority(task, PRIORITY_NORMAL),
-                 max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
+                 max_attempts=self.FIBER_MESSAGE_ATTEMPTS,
+                 parent_span=fiber.span_id)
         return task
 
     def op_start(self, ctx: OperationContext, body: Dict[str, Any]) -> Any:
@@ -443,12 +469,23 @@ class WorkflowService(Service):
         if task.status != RUNNING:
             task.status = RUNNING
 
+        metrics = ctx.cluster.metrics
+        if metrics.enabled:
+            # enqueue -> actual advancement: the end-to-end resume lag
+            # a suspended fiber experiences (queue wait + lock waits)
+            metrics.histogram("fiber.resume_latency").observe(
+                ctx.now - ctx.message.enqueued_at)
+
         cache = self._node_cache(ctx)
         self._touch_task_env(ctx, cache, task)
 
         vm = self.runtime.new_vm(allow_yield=True)
         execution = FiberExecution(self, ctx, task, fiber, vm)
         vm.vinz = execution
+        if metrics.enabled:
+            vm.profile_sink = lambda n: metrics.histogram(
+                "gvm.run_instructions",
+                buckets=INSTRUCTION_BUCKETS).observe(n)
         # make the execution reachable from future bodies too (they run
         # on their own VM): Section 3.2's sync fallback needs it
         cv_token = distribution.CURRENT_EXECUTION.set(execution)
@@ -466,6 +503,20 @@ class WorkflowService(Service):
                   resume=resume, version=fiber.version)
         charged_before = ctx.charged
         instructions_before = vm.instruction_count
+        tracer = ctx.cluster.tracer
+        prev_span = ctx.span_id
+        run_span = 0
+        if tracer.enabled:
+            # kernel time is frozen while a handler runs; sub-window
+            # span boundaries use the charge model's virtual "now"
+            run_span = tracer.begin(
+                f"run:{fiber.id}", kind="fiber-run",
+                start=ctx.now + charged_before,
+                parent_id=prev_span or (fiber.span_id or None),
+                task=task.id, fiber=fiber.id, resume=resume,
+                version=fiber.version, node=ctx.node.id)
+            # sends and persistence during this advancement parent here
+            ctx.span_id = run_span
         try:
             if not resume:
                 outcome = self._start_fresh(ctx, vm, task, fiber)
@@ -508,6 +559,11 @@ class WorkflowService(Service):
             ctx.charge((vm.instruction_count - instructions_before)
                        * self.instruction_cost)
             fiber.total_charged += ctx.charged - charged_before
+            if run_span:
+                ctx.span_id = prev_span
+                tracer.end(run_span, end=ctx.now + ctx.charged,
+                           instructions=(vm.instruction_count
+                                         - instructions_before))
 
     def _affinity_for(self, fiber: FiberRecord):
         """Placement hint for a message that will run ``fiber`` next.
@@ -564,9 +620,17 @@ class WorkflowService(Service):
                     f"workflow {self.name} defines no ({self.main_name} params)")
             return self._run_top_call(vm, main, [task.params])
         # child fiber: load and run its start thunk (the cloned state)
+        tracer = ctx.cluster.tracer
+        vstart = ctx.now + ctx.charged
         blob = self.vinz.store.read(self._thunk_key(fiber.id))
         ctx.charge(self.vinz.store.cost(len(blob)))
         fn, args = self.codec.loads(blob)
+        if tracer.enabled:
+            span = tracer.begin(
+                "persist.decode", kind="persistence", start=vstart,
+                parent_id=ctx.span_id or None, fiber=fiber.id,
+                what="thunk", bytes=len(blob))
+            tracer.end(span, end=ctx.now + ctx.charged)
         return self._run_top_call(vm, fn, list(args))
 
     @staticmethod
@@ -611,10 +675,13 @@ class WorkflowService(Service):
             return
         if group["pending"]:
             next_child = group["pending"].pop(0)
+            next_record = self.vinz.registry.fibers.get(next_child)
             ctx.send(self.name, "RunFiber",
                      {"fiber": next_child, "task": task.id},
                      priority=self.vinz.message_priority(task, PRIORITY_NORMAL),
-                     max_attempts=self.FIBER_MESSAGE_ATTEMPTS)
+                     max_attempts=self.FIBER_MESSAGE_ATTEMPTS,
+                     parent_span=(next_record.span_id if next_record
+                                  else None))
             ctx.trace("chain-next", task=task.id, fiber=fiber.id,
                       child=next_child)
         group["remaining"] -= 1
@@ -750,15 +817,26 @@ class WorkflowService(Service):
                         task: TaskRecord) -> None:
         """Load the task's immutable environment (cached per node)."""
         if cache is not None:
-            if cache.get_task_env(task.id) is not None:
+            # MISS sentinel: a legitimately-None environment must count
+            # as a hit, not force a store re-read on every delivery
+            env = cache.get_task_env(task.id, FiberCache.MISS)
+            if env is not FiberCache.MISS:
                 self.vinz.counters.incr("cache.immutable.hit")
                 return
             self.vinz.counters.incr("cache.immutable.miss")
         key = self._task_env_key(task.id)
         if self.vinz.store.exists(key):
+            tracer = ctx.cluster.tracer
+            vstart = ctx.now + ctx.charged
             blob = self.vinz.store.read(key)
             ctx.charge(self.vinz.store.cost(len(blob)))
             env = self.codec.loads(blob)
+            if tracer.enabled:
+                span = tracer.begin(
+                    "persist.decode", kind="persistence", start=vstart,
+                    parent_id=ctx.span_id or None, task=task.id,
+                    what="task-env", bytes=len(blob))
+                tracer.end(span, end=ctx.now + ctx.charged)
         else:  # pragma: no cover - Start always writes it
             env = {"workflow": self.name, "params": task.params}
         if cache is not None:
@@ -768,9 +846,17 @@ class WorkflowService(Service):
                               cache: Optional[FiberCache],
                               fiber: FiberRecord, continuation) -> None:
         fiber.version += 1
+        tracer = ctx.cluster.tracer
+        vstart = ctx.now + ctx.charged
         blob = self.codec.dumps(continuation)
         cost = self.vinz.store.write(self._state_key(fiber.id), blob)
         ctx.charge(cost)
+        if tracer.enabled:
+            span = tracer.begin(
+                "persist.encode", kind="persistence", start=vstart,
+                parent_id=ctx.span_id or None, fiber=fiber.id,
+                version=fiber.version, bytes=len(blob))
+            tracer.end(span, end=ctx.now + ctx.charged)
         self.vinz.counters.incr("persist.writes")
         self.vinz.counters.add("persist.bytes", len(blob))
         if cache is not None:
@@ -785,14 +871,23 @@ class WorkflowService(Service):
     def _load_continuation(self, ctx: OperationContext,
                            cache: Optional[FiberCache], fiber: FiberRecord):
         if cache is not None:
-            cached = cache.get_continuation(fiber.id, fiber.version)
-            if cached is not None:
+            cached = cache.get_continuation(fiber.id, fiber.version,
+                                            FiberCache.MISS)
+            if cached is not FiberCache.MISS:
                 self.vinz.counters.incr("cache.mutable.hit")
                 return cached
             self.vinz.counters.incr("cache.mutable.miss")
+        tracer = ctx.cluster.tracer
+        vstart = ctx.now + ctx.charged
         blob = self.vinz.store.read(self._state_key(fiber.id))
         ctx.charge(self.vinz.store.cost(len(blob)))
         continuation = self.codec.loads(blob)
+        if tracer.enabled:
+            span = tracer.begin(
+                "persist.decode", kind="persistence", start=vstart,
+                parent_id=ctx.span_id or None, fiber=fiber.id,
+                version=fiber.version, bytes=len(blob))
+            tracer.end(span, end=ctx.now + ctx.charged)
         if cache is not None:
             cache.put_continuation(fiber.id, fiber.version, continuation)
         return continuation
@@ -892,14 +987,23 @@ class FiberExecution:
         child = vinz.registry.new_fiber(self.task, self.ctx.now,
                                         parent_id=self.fiber.id,
                                         notify_parent=notify_parent)
+        tracer = self.ctx.cluster.tracer
+        if tracer.enabled:
+            child.span_id = tracer.begin(
+                f"fiber:{child.id}", kind="fiber", start=self.ctx.now,
+                parent_id=self.task.span_id or None, task=self.task.id,
+                fiber=child.id, parent_fiber=self.fiber.id)
         # aborted window (store fault / node death): the replayed parent
         # re-forks, so this child record must not leak
         monitored = [False]
 
         def undo_fork() -> None:
-            if vinz.registry.discard_fiber(child.id) is not None \
-                    and monitored[0]:
-                vinz.monitor_fiber_discarded(child, self.ctx.now)
+            if vinz.registry.discard_fiber(child.id) is not None:
+                if monitored[0]:
+                    vinz.monitor_fiber_discarded(child, self.ctx.now)
+                if child.span_id:
+                    tracer.end(child.span_id, end=self.ctx.now,
+                               status="discarded")
 
         self.ctx.on_abort(undo_fork)
         blob = self.service.codec.dumps((fn, list(args)))
@@ -913,7 +1017,8 @@ class FiberExecution:
                       {"fiber": child.id, "task": self.task.id},
                       priority=self.service.vinz.message_priority(
                           self.task, PRIORITY_NORMAL),
-                      max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+                      max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS,
+                      parent_span=child.span_id)
         return child.id
 
     def fork_chain(self, fn: GozerFunction, items: List[Any]) -> str:
@@ -928,15 +1033,19 @@ class FiberExecution:
         Returns the chain group id; collect with ``%vinz-collect-chain``.
         """
         vinz = self.service.vinz
+        tracer = self.ctx.cluster.tracer
         children: List[str] = []
         created: List[FiberRecord] = []
         undo_state = {"monitored": False, "group": None}
 
         def undo_fork_chain() -> None:
             for record in created:
-                if vinz.registry.discard_fiber(record.id) is not None \
-                        and undo_state["monitored"]:
-                    vinz.monitor_fiber_discarded(record, self.ctx.now)
+                if vinz.registry.discard_fiber(record.id) is not None:
+                    if undo_state["monitored"]:
+                        vinz.monitor_fiber_discarded(record, self.ctx.now)
+                    if record.span_id:
+                        tracer.end(record.span_id, end=self.ctx.now,
+                                   status="discarded")
             if undo_state["group"] is not None:
                 self.task.chain_groups.pop(undo_state["group"], None)
 
@@ -945,6 +1054,11 @@ class FiberExecution:
             child = vinz.registry.new_fiber(self.task, self.ctx.now,
                                             parent_id=self.fiber.id,
                                             notify_parent=False)
+            if tracer.enabled:
+                child.span_id = tracer.begin(
+                    f"fiber:{child.id}", kind="fiber", start=self.ctx.now,
+                    parent_id=self.task.span_id or None, task=self.task.id,
+                    fiber=child.id, parent_fiber=self.fiber.id)
             created.append(child)
             blob = self.service.codec.dumps((fn, [item]))
             self.ctx.charge(vinz.store.write(
@@ -970,7 +1084,8 @@ class FiberExecution:
                           {"fiber": child_id, "task": self.task.id},
                           priority=self.service.vinz.message_priority(
                               self.task, PRIORITY_NORMAL),
-                          max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+                          max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS,
+                          parent_span=vinz.registry.fibers[child_id].span_id)
         self.ctx.trace("chain-fork", task=self.task.id,
                        fiber=self.fiber.id, children=len(children),
                        launched=min(limit, len(children)))

@@ -53,6 +53,9 @@ class TaskRecord:
     #: (Section 5 future work): group id -> {parent, children, pending,
     #: remaining}
     chain_groups: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: causal-tracing root span for this task's lifetime (repro.observe);
+    #: 0 when tracing is disabled
+    span_id: int = 0
 
     @property
     def finished(self) -> bool:
@@ -107,6 +110,9 @@ class FiberRecord:
     waiting_on: Optional[str] = None
     #: fibers waiting in join-process for this fiber to finish
     join_waiters: List[str] = field(default_factory=list)
+    #: causal-tracing span covering this fiber's lifetime; 0 when
+    #: tracing is disabled
+    span_id: int = 0
 
     @property
     def finished(self) -> bool:

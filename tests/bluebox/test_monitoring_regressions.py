@@ -1,0 +1,89 @@
+"""Regression tests for monitoring correctness fixes.
+
+Each test pins a bug that previously passed silently: capped trace logs
+dropped events without a trace, truncated logs could still vouch for
+replay signatures, counters raced under real threads, and the
+concurrency sampler diluted its mean with absolute (not elapsed) time.
+"""
+
+import threading
+
+import pytest
+
+from repro.bluebox.monitoring import (
+    ConcurrencySampler,
+    Counters,
+    TraceLog,
+    TraceTruncatedError,
+)
+
+
+class TestTraceLogTruncation:
+    def test_drops_are_counted_not_silent(self):
+        log = TraceLog(capacity=2)
+        for i in range(5):
+            log.record(float(i), "evt", n=i)
+        assert len(log.events) == 2
+        assert log.dropped == 3
+        assert log.snapshot() == {"events": 2, "capacity": 2, "dropped": 3}
+
+    def test_signature_refuses_truncated_stream(self):
+        log = TraceLog(capacity=1)
+        log.record(0.0, "a")
+        log.record(1.0, "b")
+        with pytest.raises(TraceTruncatedError):
+            log.signature()
+
+    def test_signature_works_when_nothing_dropped(self):
+        log = TraceLog(capacity=10)
+        log.record(0.0, "a", x=1)
+        log.record(1.0, "b")
+        assert log.signature() == log.signature()
+        assert len(log.signature("a")) == 1
+
+    def test_clear_resets_dropped(self):
+        log = TraceLog(capacity=1)
+        log.record(0.0, "a")
+        log.record(1.0, "b")
+        log.clear()
+        assert log.dropped == 0
+        log.record(2.0, "c")
+        assert log.signature() != ()
+
+
+class TestCountersThreadSafety:
+    def test_incr_and_add_are_exact_under_threads(self):
+        counters = Counters()
+
+        def work():
+            for _ in range(2000):
+                counters.incr("n")
+                counters.add("s", 0.5)
+
+        threads = [threading.Thread(target=work) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counters.get("n") == 16000
+        assert counters.get_sum("s") == 8000.0
+        assert counters.mean("s", "n") == 0.5
+
+
+class TestConcurrencySamplerOffsetClock:
+    def test_mean_uses_elapsed_not_absolute_time(self):
+        # a clock that starts at t=100 (VirtualClock(start=...), real
+        # clock) must not dilute the average with the 0..100 dead zone
+        sampler = ConcurrencySampler()
+        sampler.change(100.0, +2)
+        sampler.change(101.0, -2)
+        assert sampler.mean_until(102.0) == pytest.approx(1.0)
+        assert sampler.peak == 2
+
+    def test_mean_at_first_sample_instant_is_zero(self):
+        sampler = ConcurrencySampler()
+        sampler.change(50.0, +3)
+        assert sampler.mean_until(50.0) == 0.0
+
+    def test_no_samples_means_zero(self):
+        assert ConcurrencySampler().mean_until(10.0) == 0.0

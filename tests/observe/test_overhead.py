@@ -1,0 +1,56 @@
+"""Tracing must be zero-cost when disabled: a traced-off run creates no
+spans, allocates no per-message span state, and records no metrics."""
+
+from repro.bluebox.services import simple_service
+from repro.vinz.api import VinzEnvironment
+
+WORKFLOW = """
+(deflink SVC :wsdl "urn:overhead-svc")
+
+(defun main (items)
+  (apply #'+ (for-each (x in items)
+               (+ x (SVC-Echo-Method :Value x)))))
+"""
+
+
+def build_env(**kwargs):
+    env = VinzEnvironment(nodes=3, seed=31, **kwargs)
+
+    def echo(ctx, body):
+        ctx.charge(0.1)
+        return body.get("Value", 0)
+
+    env.deploy_service(simple_service("Overhead", {"Echo": echo},
+                                      namespace="urn:overhead-svc",
+                                      parameters={"Echo": ["Value"]}))
+    env.deploy_workflow("Over", WORKFLOW)
+    return env
+
+
+def test_disabled_run_creates_no_spans_or_metrics():
+    env = build_env(trace=False)
+    task_id = env.run("Over", [1, 2, 3])
+    assert env.registry.tasks[task_id].result == 12
+
+    assert not env.tracer.enabled
+    assert env.tracer.spans_created == 0
+    assert env.tracer.spans() == []
+    assert env.metrics.snapshot() == {"counters": {}, "gauges": {},
+                                      "histograms": {}}
+    # no span ids leaked into fiber records either
+    assert all(f.span_id == 0 for f in env.registry.fibers.values())
+    assert all(t.span_id == 0 for t in env.registry.tasks.values())
+
+
+def test_spans_flag_decouples_tracer_from_trace_log():
+    # spans on, event log off: tracer works, log stays empty
+    env = build_env(trace=False, spans=True)
+    env.run("Over", [1, 2])
+    assert env.tracer.spans_created > 0
+    assert env.cluster.trace.events == []
+
+    # spans explicitly off even though the event log is on
+    env = build_env(trace=True, spans=False)
+    env.run("Over", [1, 2])
+    assert env.tracer.spans_created == 0
+    assert env.cluster.trace.events
