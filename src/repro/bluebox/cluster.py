@@ -100,6 +100,9 @@ class _InFlight:
         self.context: Optional[OperationContext] = None
         #: the operation-window span (0 when tracing is disabled)
         self.span_id = 0
+        #: the window's sealed journal batch (durable store only),
+        #: committed when the window completes, discarded if it dies
+        self.batch = None
 
 
 class Cluster:
@@ -139,6 +142,11 @@ class Cluster:
             RetryPolicy.platform(redelivery_delay)
         #: optional FaultInjector (repro.faults), wired by install()
         self.injector = None
+        #: a window-capable store (repro.durastore.DurableStore), wired
+        #: by VinzEnvironment when the shared store supports group
+        #: commit: each operation window's mutations seal into one
+        #: journal batch, committed as the window completes
+        self.durable_store = None
         #: called with each dead-lettered Message (Vinz fails the
         #: owning task/fiber so nothing hangs silently)
         self.dead_letter_listeners: List[Callable[[Message], None]] = []
@@ -408,6 +416,8 @@ class Cluster:
                 start=started, parent_id=hop_span or None, node=node.id,
                 msg=message.id, **_trace_ids(message.body))
             context.span_id = record.span_id
+        if self.durable_store is not None:
+            self.durable_store.begin_window()
         try:
             value = instance.service.handle(context, message.operation,
                                             message.body)
@@ -419,8 +429,22 @@ class Cluster:
             # a store IO fault (or injected corruption) surfaced while
             # processing: abort the window — roll back state, free the
             # slot — and retry the message per its policy
+            if self.durable_store is not None:
+                self.durable_store.abort_window()
             self._abort_window(record, f"store fault: {err}")
             return
+        if self.durable_store is not None:
+            if record.valid:
+                # group commit: the window's writes become one journal
+                # batch; its IO cost lands inside the window duration
+                record.batch = self.durable_store.seal_window()
+                if record.batch is not None:
+                    context.charge(record.batch.cost)
+            else:
+                # the node died mid-handler (crash-on-persist): the
+                # abort hooks already rolled state back; the buffered
+                # records must never reach the journal
+                self.durable_store.abort_window()
         duration = max(context.charged, 1e-6)
         if self.injector is not None:
             duration *= self.injector.slow_factor(node.id, started)
@@ -436,6 +460,17 @@ class Cluster:
                   duration: float) -> None:
         if not record.valid:
             return  # the node died while processing; message was requeued
+        if self.durable_store is not None and record.batch is not None:
+            # the group commit: one journal append for the whole
+            # window.  A torn-commit fault aborts the window — state
+            # rolls back via the undo hooks, the partial record is
+            # dropped by the next replay, and the message retries.
+            batch, record.batch = record.batch, None
+            try:
+                self.durable_store.commit_batch(batch)
+            except StoreError as err:
+                self._abort_window(record, f"journal fault: {err}")
+                return
         self._in_flight.remove(record)
         node = record.instance.node
         node.busy -= 1
@@ -595,6 +630,12 @@ class Cluster:
                 record.valid = False
                 self._in_flight.remove(record)
                 node.busy -= 1
+                if self.durable_store is not None \
+                        and record.batch is not None:
+                    # sealed but never committed: the batch dies with
+                    # the node and replay excludes it by construction
+                    self.durable_store.discard_batch(record.batch)
+                    record.batch = None
                 if record.context is not None:
                     for hook in record.context.abort_hooks:
                         hook()

@@ -10,12 +10,17 @@ compression costs.
 
 ``DirectoryStore`` additionally mirrors the data onto a real directory,
 for tests that want to survive process boundaries.
+
+Subclasses override the ``_get``/``_put``/``_remove``/``_contains``/
+``_key_list`` storage primitives (the durable sharded store in
+:mod:`repro.durastore` routes them across backends); the public API —
+cost model, statistics, fault-injection consultation — lives here once.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 
 class StoreError(KeyError):
@@ -68,14 +73,71 @@ class SharedStore:
         self.op_latency = op_latency
         self.per_byte = per_byte
         #: optional fault-injection hooks (repro.faults.FaultInjector);
-        #: consulted before every read/write and may raise StoreError
+        #: consulted before every read/write/delete and may raise
+        #: StoreError
         self.injector = None
         # statistics
         self.reads = 0
         self.writes = 0
+        self.deletes = 0
         self.bytes_read = 0
         self.bytes_written = 0
         self.faulted_ops = 0
+        #: charged IO operations / simulated IO seconds, the raw
+        #: material of the store-scaling benchmark (group commit's
+        #: claim is exactly "fewer ops, less IO time")
+        self.io_ops = 0
+        self.io_seconds = 0.0
+
+    # -- storage primitives (what subclasses reroute) ---------------------
+
+    def _get(self, key: str) -> Optional[bytes]:
+        return self._data.get(key)
+
+    def _put(self, key: str, data: bytes) -> None:
+        self._data[key] = data
+
+    def _remove(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def _contains(self, key: str) -> bool:
+        return key in self._data
+
+    def _key_list(self) -> List[str]:
+        return list(self._data)
+
+    # -- fault-injection consultation -------------------------------------
+
+    def _consult_write(self, key: str) -> None:
+        if self.injector is not None:
+            try:
+                self.injector.on_store_write(key)
+            except StoreError:
+                self.faulted_ops += 1
+                raise
+
+    def _consult_read(self, key: str) -> None:
+        if self.injector is not None:
+            try:
+                self.injector.on_store_read(key)
+            except StoreError:
+                self.faulted_ops += 1
+                raise
+
+    def _checked_lookup(self, key: str) -> bytes:
+        """The one missing-key/injector path every read-side operation
+        shares: a fault campaign that blacks out a key is visible to
+        ``read``, ``read_cost`` and ``size`` alike."""
+        self._consult_read(key)
+        data = self._get(key)
+        if data is None:
+            raise StoreError(key)
+        return data
+
+    def _account(self, cost: float) -> float:
+        self.io_ops += 1
+        self.io_seconds += cost
+        return cost
 
     # -- core API ---------------------------------------------------------
 
@@ -83,51 +145,45 @@ class SharedStore:
         """Store ``data``; return the simulated IO cost in seconds."""
         if not isinstance(data, bytes):
             raise TypeError("store values must be bytes")
-        if self.injector is not None:
-            try:
-                self.injector.on_store_write(key)
-            except StoreError:
-                self.faulted_ops += 1
-                raise
-        self._data[key] = data
+        self._consult_write(key)
+        self._put(key, data)
         self.writes += 1
         self.bytes_written += len(data)
-        return self.cost(len(data))
+        return self._account(self.cost(len(data)))
 
     def read(self, key: str) -> bytes:
-        if self.injector is not None:
-            try:
-                self.injector.on_store_read(key)
-            except StoreError:
-                self.faulted_ops += 1
-                raise
-        data = self._data.get(key)
-        if data is None:
-            raise StoreError(key)
+        data = self._checked_lookup(key)
         self.reads += 1
         self.bytes_read += len(data)
+        self._account(self.cost(len(data)))
         return data
 
     def read_cost(self, key: str) -> float:
-        data = self._data.get(key)
-        if data is None:
-            raise StoreError(key)
-        return self.cost(len(data))
+        """Probe the cost a :meth:`read` of ``key`` would charge
+        (uncounted — no payload moves)."""
+        return self.cost(len(self._checked_lookup(key)))
 
-    def delete(self, key: str) -> None:
-        self._data.pop(key, None)
+    def delete(self, key: str) -> float:
+        """Remove ``key``; return the simulated IO cost in seconds.
+
+        Deletes are store IO too: they charge ``op_latency``, count in
+        the statistics, and the fault injector may veto them exactly
+        like writes (a delete mutates the filer).  Deleting a missing
+        key is a no-op but still costs the round trip.
+        """
+        self._consult_write(key)
+        self._remove(key)
+        self.deletes += 1
+        return self._account(self.cost(0))
 
     def exists(self, key: str) -> bool:
-        return key in self._data
+        return self._contains(key)
 
     def keys(self, prefix: str = "") -> List[str]:
-        return sorted(k for k in self._data if k.startswith(prefix))
+        return sorted(k for k in self._key_list() if k.startswith(prefix))
 
     def size(self, key: str) -> int:
-        data = self._data.get(key)
-        if data is None:
-            raise StoreError(key)
-        return len(data)
+        return len(self._checked_lookup(key))
 
     def cost(self, nbytes: int) -> float:
         """The simulated seconds one IO of ``nbytes`` takes."""
@@ -137,18 +193,40 @@ class SharedStore:
 
     def snapshot_value(self, key: str) -> Optional[bytes]:
         """Peek a value for later restoration (uncounted)."""
-        return self._data.get(key)
+        return self._get(key)
 
     def restore_value(self, key: str, value: Optional[bytes]) -> None:
         """Put back a snapshot taken with :meth:`snapshot_value`
         (uncounted) — used to roll back writes of an aborted operation."""
         if value is None:
-            self._data.pop(key, None)
+            self._remove(key)
         else:
-            self._data[key] = value
+            self._put(key, value)
+
+    def rollback_value(self, key: str, value: Optional[bytes]) -> None:
+        """Abort-undo entry point: like :meth:`restore_value`, but a
+        journaled store also scrubs the key from its uncommitted batch
+        so rollback and journal replay compose (overridden there)."""
+        self.restore_value(key, value)
 
     def total_bytes(self) -> int:
-        return sum(len(v) for v in self._data.values())
+        return sum(len(self._get(k) or b"") for k in self._key_list())
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """The store section of the observability report."""
+        return {
+            "kind": type(self).__name__,
+            "reads": self.reads,
+            "writes": self.writes,
+            "deletes": self.deletes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "faulted_ops": self.faulted_ops,
+            "io_ops": self.io_ops,
+            "io_seconds": self.io_seconds,
+        }
 
 
 class DirectoryStore(SharedStore):
@@ -172,33 +250,24 @@ class DirectoryStore(SharedStore):
 
     @staticmethod
     def _encode_name(key: str) -> str:
-        return key.replace("/", "%2F")
+        # escape the escape character first: a key literally containing
+        # "%2F" must not collide with a key containing "/"
+        return key.replace("%", "%25").replace("/", "%2F")
 
     @staticmethod
     def _decode_name(name: str) -> str:
-        return name.replace("%2F", "/")
+        return name.replace("%2F", "/").replace("%25", "%")
 
-    def write(self, key: str, data: bytes) -> float:
-        cost = super().write(key, data)
+    def _put(self, key: str, data: bytes) -> None:
+        super()._put(key, data)
         path = os.path.join(self.root, self._encode_name(key))
         tmp = path + ".tmp"
         with open(tmp, "wb") as fh:
             fh.write(data)
         os.replace(tmp, path)
-        return cost
 
-    def delete(self, key: str) -> None:
-        super().delete(key)
+    def _remove(self, key: str) -> None:
+        super()._remove(key)
         path = os.path.join(self.root, self._encode_name(key))
         if os.path.exists(path):
             os.unlink(path)
-
-    def restore_value(self, key: str, value: Optional[bytes]) -> None:
-        super().restore_value(key, value)
-        path = os.path.join(self.root, self._encode_name(key))
-        if value is None:
-            if os.path.exists(path):
-                os.unlink(path)
-        else:
-            with open(path, "wb") as fh:
-                fh.write(value)

@@ -1,0 +1,47 @@
+"""Durable sharded storage: pluggable backends, a consistent-hash ring,
+a write-ahead journal with group commit, and crash recovery.
+
+The paper's Vinz trusts one NFS filer for every fiber blob (Section
+4.2); this package is the scale-out answer in the spirit of Netherite:
+shard the key space over pluggable byte planes, funnel each operation
+window's mutations through one journal append (group commit amortizes
+the ~2 ms per-op latency), and reconstruct committed state by replaying
+the journal after a crash — torn tails detected and dropped, committed
+batches always recovered.
+
+Everything slots in behind the :class:`~repro.bluebox.store.SharedStore`
+API, so Vinz, the fiber cache, fault campaigns and the benchmarks work
+unchanged on top of any of the three tiers::
+
+    SharedStore            flat in-memory store (the seed model)
+    └─ ShardedStore        consistent-hash over N StoreBackends
+       └─ DurableStore     + write-ahead journal, group commit, recovery
+"""
+
+from .backend import (
+    DirectoryBackend,
+    MemoryBackend,
+    StoreBackend,
+    memory_backends,
+)
+from .journal import (
+    BATCH_MAGIC,
+    CHECKPOINT_MAGIC,
+    FileJournalStorage,
+    JOURNAL_MAGIC,
+    MemoryJournalStorage,
+    SealedBatch,
+    WriteAheadJournal,
+    encode_batch,
+)
+from .sharded import ShardedStore, ShardStats, VNODES
+from .durable import DurableStore
+
+__all__ = [
+    "StoreBackend", "MemoryBackend", "DirectoryBackend", "memory_backends",
+    "ShardedStore", "ShardStats", "VNODES",
+    "WriteAheadJournal", "MemoryJournalStorage", "FileJournalStorage",
+    "SealedBatch", "encode_batch",
+    "JOURNAL_MAGIC", "BATCH_MAGIC", "CHECKPOINT_MAGIC",
+    "DurableStore",
+]

@@ -22,18 +22,24 @@ from .plan import (
     FAIL_WRITE,
     Fault,
     FaultPlan,
+    JournalFault,
     MessageFault,
     NodeFault,
+    SHARD_OUTAGE,
     SLOW,
+    ShardFault,
     StoreFault,
+    TORN_COMMIT,
 )
 from .injector import FaultInjector
 
 __all__ = [
     "RetryPolicy",
     "FaultPlan", "Fault", "MessageFault", "StoreFault", "NodeFault",
+    "ShardFault", "JournalFault",
     "FaultInjector",
     "DROP", "DUPLICATE", "DELAY",
     "FAIL_WRITE", "FAIL_READ", "CORRUPT_READ",
     "CRASH", "SLOW",
+    "SHARD_OUTAGE", "TORN_COMMIT",
 ]

@@ -132,17 +132,20 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
                  tasks: int = 4, nodes: int = 4,
                  retry_policy: Optional[RetryPolicy] = None,
                  trace: bool = True,
-                 spawn_limit: int = 3) -> CampaignReport:
+                 spawn_limit: int = 3, store=None) -> CampaignReport:
     """Execute the named ``(seed, plan)`` chaos campaign to quiescence.
 
     ``retry_policy`` defaults to :meth:`RetryPolicy.default` — bounded
     exponential backoff with seeded jitter — so injected faults are
     retried a finite number of times and exhaustion dead-letters.
+    ``store`` swaps the shared-store implementation (e.g. a
+    :class:`~repro.durastore.DurableStore` for crash-recovery
+    campaigns).
     """
     policy = retry_policy if retry_policy is not None \
         else RetryPolicy.default()
     env = VinzEnvironment(nodes=nodes, seed=seed, trace=trace,
-                          retry_policy=policy)
+                          retry_policy=policy, store=store)
     env.deploy_service(data_service())
     env.deploy_workflow("Campaign", CAMPAIGN_WORKFLOW,
                         spawn_limit=spawn_limit)

@@ -35,10 +35,14 @@ from .plan import (
     FAIL_READ,
     FAIL_WRITE,
     FaultPlan,
+    JournalFault,
     MessageFault,
     NodeFault,
+    SHARD_OUTAGE,
     SLOW,
+    ShardFault,
     StoreFault,
+    TORN_COMMIT,
 )
 
 
@@ -58,6 +62,10 @@ class FaultInjector:
         self.injected: Dict[str, int] = {}
         #: node faults with a concrete node resolved at install time
         self._node_faults: List[NodeFault] = []
+        #: shard faults: fault index -> resolved shard name ("" = any)
+        self._shard_targets: Dict[int, str] = {
+            i: f.shard for i, f in enumerate(plan.faults)
+            if isinstance(f, ShardFault)}
 
     # ------------------------------------------------------------------
     # wiring
@@ -70,6 +78,12 @@ class FaultInjector:
         env.injector = self
         env.cluster.injector = self
         env.store.injector = self
+        # resolve unnamed shard-outage targets against the store's ring
+        shard_names = sorted(getattr(env.store, "backends", {}))
+        if shard_names:
+            for index, name in list(self._shard_targets.items()):
+                if not name:
+                    self._shard_targets[index] = self.rng.choice(shard_names)
         node_ids = sorted(env.cluster.nodes)
         for fault in self.plan.node_faults():
             node = fault.node or (self.rng.choice(node_ids) if node_ids
@@ -174,6 +188,55 @@ class FaultInjector:
                 if fault.action == FAIL_READ:
                     raise StoreReadError(key)
                 raise StoreCorruptionError(key)
+
+    # ------------------------------------------------------------------
+    # durable-store hooks (ShardedStore._consult_shard /
+    # WriteAheadJournal.append_batch)
+    # ------------------------------------------------------------------
+
+    def _now(self) -> float:
+        if self.env is not None:
+            return self.env.cluster.kernel.now
+        return 0.0
+
+    def on_shard_op(self, shard: str, key: str, write: bool) -> None:
+        """Shard-outage faults: raise if ``shard`` is down for this IO."""
+        for index, fault in enumerate(self.plan.faults):
+            if not isinstance(fault, ShardFault):
+                continue
+            target = self._shard_targets.get(index, fault.shard)
+            if target and target != shard:
+                continue
+            if fault.writes_only and not write:
+                continue
+            if fault.at is not None:
+                now = self._now()
+                end = (fault.at + fault.duration) \
+                    if fault.duration is not None else float("inf")
+                fired = fault.at <= now < end
+            else:
+                fired = self._triggered(index, fault.nth, fault.count)
+            if fired:
+                self._record(SHARD_OUTAGE, shard=shard, key=key,
+                             write=write)
+                if write:
+                    raise StoreWriteError(key)
+                raise StoreReadError(key)
+
+    def on_journal_commit(self, commit_index: int,
+                          frame_len: int) -> Optional[int]:
+        """Torn-commit faults: return how many bytes of the framed
+        batch reach storage before the writer dies (``None`` = the
+        append succeeds whole)."""
+        for index, fault in enumerate(self.plan.faults):
+            if not isinstance(fault, JournalFault):
+                continue
+            if self._triggered(index, fault.nth, fault.count):
+                keep = int(frame_len * fault.keep_fraction)
+                self._record(TORN_COMMIT, commit=commit_index,
+                             frame_len=frame_len, kept=keep)
+                return keep
+        return None
 
     # ------------------------------------------------------------------
     # node hooks

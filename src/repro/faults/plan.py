@@ -26,6 +26,9 @@ CORRUPT_READ = "corrupt-read"
 # node fault actions
 CRASH = "crash"
 SLOW = "slow"
+# durable-store fault actions
+SHARD_OUTAGE = "shard-outage"
+TORN_COMMIT = "torn-commit"
 
 
 @dataclass(frozen=True)
@@ -125,7 +128,68 @@ class NodeFault:
             raise ValueError("slow factor must be positive")
 
 
-Fault = Union[MessageFault, StoreFault, NodeFault]
+@dataclass(frozen=True)
+class ShardFault:
+    """Take one shard of a :class:`~repro.durastore.ShardedStore` down.
+
+    During the outage every IO routed to the shard fails (reads and
+    writes, or writes only) — the simulation's stand-in for one storage
+    plane dropping off the network while the others keep serving.
+
+    Two firing modes:
+
+    * **time window** — ``at`` (virtual seconds) for ``duration``
+      seconds (``None`` = never recovers);
+    * **op window** — when ``at`` is ``None``, matching operations
+      number ``nth`` through ``nth + count - 1`` fail (1-based),
+      mirroring :class:`StoreFault` determinism.
+
+    ``shard`` may be empty: the injector picks one deterministically
+    from the seeded RNG at install time (or matches any shard when it
+    cannot see the ring).
+    """
+
+    action: str = SHARD_OUTAGE
+    shard: str = ""
+    at: Optional[float] = None
+    duration: Optional[float] = None
+    nth: int = 1
+    count: int = 1
+    writes_only: bool = False
+
+    def __post_init__(self):
+        if self.action != SHARD_OUTAGE:
+            raise ValueError(f"unknown shard fault action {self.action!r}")
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count are 1-based and positive")
+
+
+@dataclass(frozen=True)
+class JournalFault:
+    """Tear a write-ahead-journal group commit mid-append.
+
+    Fires on journal append number ``nth`` through ``nth + count - 1``
+    (1-based): only ``keep_fraction`` of the framed batch reaches
+    storage and the append raises — the writer died inside ``write(2)``.
+    The next replay must drop exactly the torn record; the aborted
+    window's message retries per its policy.
+    """
+
+    action: str = TORN_COMMIT
+    nth: int = 1
+    count: int = 1
+    keep_fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.action != TORN_COMMIT:
+            raise ValueError(f"unknown journal fault action {self.action!r}")
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count are 1-based and positive")
+        if not 0.0 <= self.keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in [0, 1)")
+
+
+Fault = Union[MessageFault, StoreFault, NodeFault, ShardFault, JournalFault]
 
 
 @dataclass(frozen=True)
@@ -164,6 +228,12 @@ class FaultPlan:
     def node_faults(self) -> List[NodeFault]:
         return [f for f in self.faults if isinstance(f, NodeFault)]
 
+    def shard_faults(self) -> List[ShardFault]:
+        return [f for f in self.faults if isinstance(f, ShardFault)]
+
+    def journal_faults(self) -> List[JournalFault]:
+        return [f for f in self.faults if isinstance(f, JournalFault)]
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
@@ -174,7 +244,8 @@ class FaultPlan:
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "FaultPlan":
         kinds = {"MessageFault": MessageFault, "StoreFault": StoreFault,
-                 "NodeFault": NodeFault}
+                 "NodeFault": NodeFault, "ShardFault": ShardFault,
+                 "JournalFault": JournalFault}
         faults = []
         for entry in data.get("faults", []):
             entry = dict(entry)

@@ -121,4 +121,5 @@ def json_report(env) -> Dict[str, Any]:
         "trace_log": cluster.trace.snapshot(),
         "cache_hit_rates": env.cache_hit_rates(),
         "counters": env.counters.snapshot(),
+        "store": env.store.stats_snapshot(),
     }

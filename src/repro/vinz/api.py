@@ -68,6 +68,14 @@ class VinzEnvironment:
         if not self.cluster.nodes:
             self.cluster.add_nodes(nodes, slots=slots)
         self.store = store if store is not None else SharedStore()
+        if hasattr(self.store, "begin_window"):
+            # a window-capable durable store (repro.durastore): the
+            # cluster drives its group-commit lifecycle, and recovery
+            # gets spans/metrics/virtual-time wiring
+            self.cluster.durable_store = self.store
+            self.store.tracer = self.cluster.tracer
+            self.store.metrics = self.cluster.metrics
+            self.store.now_fn = lambda: self.cluster.kernel.now
         #: optional FaultInjector (set by FaultInjector.install(env))
         self.injector = None
         # dead-lettered fiber messages must fail their task/fiber
@@ -385,12 +393,7 @@ class VinzEnvironment:
                 "dead_lettered": self.cluster.queue.dead_lettered,
                 "mean_wait": self.cluster.queue.mean_wait(),
             },
-            "store": {
-                "writes": self.store.writes,
-                "reads": self.store.reads,
-                "bytes_written": self.store.bytes_written,
-                "faulted_ops": self.store.faulted_ops,
-            },
+            "store": self.store.stats_snapshot(),
             "faults": {
                 "injected": self.cluster.counters.get("fault.injected"),
                 "retries_scheduled": self.cluster.counters.get("retry.scheduled"),

@@ -104,6 +104,12 @@ class FiberCache:
     def put_continuation(self, fiber_id: str, version: int, state: Any) -> None:
         self.mutable.put((fiber_id, version), state)
 
+    def evict_continuation(self, fiber_id: str, version: int) -> None:
+        """Drop a cached continuation (abort rollback: the version is
+        being rolled back, so a retry re-reaching it must not resume
+        from the aborted window's state)."""
+        self.mutable.invalidate((fiber_id, version))
+
     def get_task_env(self, task_id: str, default: Any = None) -> Optional[Any]:
         return self.immutable.get(task_id, default)
 

@@ -29,8 +29,9 @@ from __future__ import annotations
 import gzip
 import io
 import pickle
+import struct
 import zlib
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..lang.bytecode import CodeObject
 
@@ -248,6 +249,58 @@ class FiberCodec:
     def _unpickle(self, raw: bytes) -> Any:
         return _RegistryUnpickler(io.BytesIO(raw), self.registry,
                                   self.hosts).load()
+
+
+class CrcFrameError(ValueError):
+    """A CRC frame failed its integrity check mid-stream (not at the
+    tail) — the storage is corrupt beyond a torn write."""
+
+
+#: CRC frame layout: magic + u32 payload length + u32 crc32(payload)
+_FRAME_HEADER = struct.Struct("<II")
+
+
+def crc_frame(payload: bytes, magic: bytes) -> bytes:
+    """Wrap ``payload`` in a length+CRC frame.
+
+    The durable store's write-ahead journal and checkpoints persist
+    through these frames: a torn tail (a write cut short by a crash)
+    is detectable — the length or the checksum will not line up — so
+    replay can drop exactly the uncommitted suffix.
+    """
+    return (magic + _FRAME_HEADER.pack(len(payload),
+                                       zlib.crc32(payload) & 0xFFFFFFFF)
+            + payload)
+
+
+def parse_crc_frames(data: bytes, magic: bytes,
+                     offset: int = 0) -> Tuple[List[bytes], int, Optional[str]]:
+    """Parse consecutive CRC frames from ``data`` starting at ``offset``.
+
+    Returns ``(payloads, good_offset, tail_error)``: every frame that
+    passed its check, the offset just past the last good frame, and —
+    when the stream ends in a torn or corrupt record — a short reason
+    string (``None`` for a clean tail).  Frames after a bad one are
+    never trusted: a torn record means the writer died there.
+    """
+    payloads: List[bytes] = []
+    header_len = len(magic) + _FRAME_HEADER.size
+    while offset < len(data):
+        header = data[offset:offset + header_len]
+        if len(header) < header_len:
+            return payloads, offset, "torn-header"
+        if header[:len(magic)] != magic:
+            return payloads, offset, "bad-magic"
+        length, crc = _FRAME_HEADER.unpack(header[len(magic):])
+        start = offset + header_len
+        payload = data[start:start + length]
+        if len(payload) < length:
+            return payloads, offset, "torn-payload"
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            return payloads, offset, "crc-mismatch"
+        payloads.append(payload)
+        offset = start + length
+    return payloads, offset, None
 
 
 def blob_codec_name(blob: bytes) -> str:

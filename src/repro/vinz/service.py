@@ -33,6 +33,7 @@ from __future__ import annotations
 import pickle
 from typing import Any, Dict, List, Optional
 
+from ..bluebox.store import StoreError
 from ..bluebox.messagequeue import (
     PRIORITY_LOW,
     PRIORITY_NORMAL,
@@ -256,6 +257,11 @@ class WorkflowService(Service):
                     and self._task_by_message.get(msg_id) == task.id:
                 del self._task_by_message[msg_id]
             if registry.discard_task(task.id) is not None:
+                # the retried Start makes a *fresh* task id, so this
+                # env blob would orphan in the backends while never
+                # reaching the journal — take it back out
+                self.vinz.store.rollback_value(
+                    self._task_env_key(task.id), None)
                 if monitored[0]:
                     self.vinz.monitor_task_discarded(task, ctx.now)
                 if task.span_id:
@@ -341,8 +347,8 @@ class WorkflowService(Service):
         for fiber in registry.fibers_of(task.id):
             if not fiber.finished:
                 registry.finish_fiber(fiber, TERMINATED, ctx.now)
-                self.vinz.store.delete(self._state_key(fiber.id))
-                self.vinz.store.delete(self._thunk_key(fiber.id))
+                self._reclaim(ctx, self._state_key(fiber.id),
+                              self._thunk_key(fiber.id))
                 self.vinz.monitor_fiber_finished(fiber, ctx.now)
                 self._notify_fiber_waiters(ctx, fiber)
         waiters, task.join_waiters = task.join_waiters, []
@@ -464,7 +470,7 @@ class WorkflowService(Service):
         # simulated window ends, the redelivered message must replay
         # against the *pre-window* fiber state (real Vinz gets this from
         # JMS transactions: state write + sends + ack commit together).
-        ctx.on_abort(self._make_abort_undo(task, fiber))
+        ctx.on_abort(self._make_abort_undo(ctx, task, fiber))
         fiber.status = RUNNING
         if task.status != RUNNING:
             task.status = RUNNING
@@ -577,7 +583,8 @@ class WorkflowService(Service):
             return fiber.last_node
         return None
 
-    def _make_abort_undo(self, task: TaskRecord, fiber: FiberRecord):
+    def _make_abort_undo(self, ctx: OperationContext, task: TaskRecord,
+                         fiber: FiberRecord):
         """Build the state-rollback hook for node death mid-window."""
         store = self.vinz.store
         state_key = self._state_key(fiber.id)
@@ -596,6 +603,16 @@ class WorkflowService(Service):
         )
 
         def undo():
+            # versions persisted inside the aborted window may sit in
+            # this node's fiber cache; a retry re-reaching the same
+            # version number must not resume from the aborted state
+            # (the group-commit abort path aborts *after* the handler
+            # finished, so the cache insert has already happened)
+            cache = self._node_cache(ctx)
+            if cache is not None:
+                for version in range(prev["version"] + 1,
+                                     fiber.version + 1):
+                    cache.evict_continuation(fiber.id, version)
             fiber.version = prev["version"]
             fiber.status = prev["fiber_status"]
             fiber.waiting_on = prev["waiting_on"]
@@ -605,8 +622,11 @@ class WorkflowService(Service):
             task.status = prev["task_status"]
             task.finished_at = prev["task_finished_at"]
             task.result = prev["task_result"]
-            store.restore_value(state_key, prev["blob"])
-            store.restore_value(self._thunk_key(fiber.id), prev["thunk"])
+            # rollback_value (not restore_value): a journaled store
+            # also scrubs the key from its uncommitted batch, so the
+            # rolled-back write can never be replayed after a crash
+            store.rollback_value(state_key, prev["blob"])
+            store.rollback_value(self._thunk_key(fiber.id), prev["thunk"])
 
         return undo
 
@@ -645,8 +665,8 @@ class WorkflowService(Service):
                          fiber: FiberRecord, result: Any) -> None:
         registry = self.vinz.registry
         registry.finish_fiber(fiber, COMPLETED, ctx.now, result=result)
-        self.vinz.store.delete(self._state_key(fiber.id))
-        self.vinz.store.delete(self._thunk_key(fiber.id))
+        self._reclaim(ctx, self._state_key(fiber.id),
+                      self._thunk_key(fiber.id))
         ctx.trace("fiber-complete", task=task.id, fiber=fiber.id)
         self.vinz.monitor_fiber_finished(fiber, ctx.now)
         self._notify_fiber_waiters(ctx, fiber)
@@ -698,7 +718,7 @@ class WorkflowService(Service):
                       terminate_task: bool) -> None:
         registry = self.vinz.registry
         registry.finish_fiber(fiber, ERROR, ctx.now, error=error)
-        self.vinz.store.delete(self._state_key(fiber.id))
+        self._reclaim(ctx, self._state_key(fiber.id))
         ctx.trace("fiber-error", task=task.id, fiber=fiber.id, error=error)
         self.vinz.monitor_fiber_finished(fiber, ctx.now)
         self._notify_fiber_waiters(ctx, fiber)
@@ -921,6 +941,24 @@ class WorkflowService(Service):
 
     # -- store keys ---------------------------------------------------------
 
+    def _reclaim(self, ctx, *keys: str) -> None:
+        """Best-effort reclamation of persisted fiber state.
+
+        Deletes are real store IO: charged to the window, counted, and
+        subject to fault injection.  But a vetoed delete must not take
+        down the platform path that happens to be sweeping (finishing a
+        task, dead-letter handling) — the blob is merely orphaned, for
+        a later sweep to reclaim, so a write-storm campaign degrades
+        cleanup without costing liveness.
+        """
+        store = self.vinz.store
+        for key in keys:
+            try:
+                ctx.charge(store.delete(key))
+            except StoreError:
+                ctx.trace("reclaim-skipped", key=key)
+                self.vinz.cluster.counters.incr("store.reclaim-skipped")
+
     @staticmethod
     def _state_key(fiber_id: str) -> str:
         return f"fiber-state/{fiber_id}"
@@ -953,6 +991,10 @@ class _OutOfBandContext:
 
     def send(self, service, operation, body, **kwargs) -> None:
         self.cluster.send(service, operation, body, **kwargs)
+
+    def charge(self, seconds: float) -> None:
+        """Out-of-band IO has no window to bill — the cost is absorbed
+        (the store's own io_seconds still count it)."""
 
     def trace(self, kind: str, **detail) -> None:
         self.cluster.trace.record(self.now, kind, **detail)
@@ -999,6 +1041,11 @@ class FiberExecution:
 
         def undo_fork() -> None:
             if vinz.registry.discard_fiber(child.id) is not None:
+                # the child's thunk blob was written by the aborted
+                # window: take it back out so backend state stays equal
+                # to committed journal state (crash-recovery contract)
+                vinz.store.rollback_value(
+                    self.service._thunk_key(child.id), None)
                 if monitored[0]:
                     vinz.monitor_fiber_discarded(child, self.ctx.now)
                 if child.span_id:
@@ -1041,6 +1088,8 @@ class FiberExecution:
         def undo_fork_chain() -> None:
             for record in created:
                 if vinz.registry.discard_fiber(record.id) is not None:
+                    vinz.store.rollback_value(
+                        self.service._thunk_key(record.id), None)
                     if undo_state["monitored"]:
                         vinz.monitor_fiber_discarded(record, self.ctx.now)
                     if record.span_id:

@@ -14,7 +14,7 @@ a Vinz cluster and reports both the generated-workload statistics
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from ..bluebox.messagequeue import ReplyTo
@@ -79,6 +79,10 @@ class ProductionDayResult:
     queue_mean_wait: float
     cache_hit_rates: Dict[str, float]
     persist_writes: int
+    #: the shared store's full stats snapshot (io_ops/io_seconds, and —
+    #: for sharded/durable stores — per-shard and journal sections),
+    #: the raw material of the store-scaling benchmark
+    store_stats: Dict[str, Any] = field(default_factory=dict)
 
     def rows(self) -> List[tuple]:
         """(metric, paper value, measured value) rows for reporting."""
@@ -100,12 +104,15 @@ class ProductionDayResult:
 def run_production_day(scale: float = 0.01, nodes: int = 12,
                        slots: int = 4, seed: int = 2010,
                        profile: Optional[WorkloadProfile] = None,
-                       trace: bool = False) -> ProductionDayResult:
+                       trace: bool = False,
+                       store=None) -> ProductionDayResult:
     """Run a ``scale``-sized production day and collect statistics.
 
     ``scale=0.01`` runs 100 tasks over a 0.24-hour virtual window with
     a proportionally smaller cluster — the shape (not the absolute
-    numbers) is what reproduces.
+    numbers) is what reproduces.  ``store`` swaps the shared-store
+    implementation (flat / sharded / durable) for the store-scaling
+    benchmark.
     """
     count = max(1, int(PAPER_TASKS_PER_DAY * scale))
     period = DAY_SECONDS * scale
@@ -114,7 +121,8 @@ def run_production_day(scale: float = 0.01, nodes: int = 12,
     specs = generate_tasks(count, period, seed=seed, profile=profile)
     generated = workload_statistics(specs)
 
-    env = VinzEnvironment(nodes=nodes, slots=slots, seed=seed, trace=trace)
+    env = VinzEnvironment(nodes=nodes, slots=slots, seed=seed, trace=trace,
+                          store=store)
     env.deploy_service(datastore_service())
     env.deploy_workflow("Batch", BATCH_WORKFLOW_SOURCE,
                         spawn_limit=8, instruction_cost=1e-6)
@@ -142,4 +150,5 @@ def run_production_day(scale: float = 0.01, nodes: int = 12,
         queue_mean_wait=env.cluster.queue.mean_wait(),
         cache_hit_rates=env.cache_hit_rates(),
         persist_writes=env.counters.get("persist.writes"),
+        store_stats=env.store.stats_snapshot(),
     )
