@@ -24,6 +24,13 @@ from typing import Any, Callable, Dict, List, Optional
 
 from ..faults.retry import RetryPolicy
 from ..observe import MetricsRegistry, SpanTracer
+from ..sched.admission import (
+    DELAY as ADMIT_DELAY,
+    SERVER_BUSY_QNAME,
+    SHED as ADMIT_SHED,
+    make_admission,
+)
+from ..sched.fair import make_policy
 from .clock import SimKernel
 from .messagequeue import (
     Message,
@@ -119,9 +126,20 @@ class Cluster:
     def __init__(self, seed: int = 0, delivery_latency: float = 0.002,
                  redelivery_delay: float = 0.05, trace: bool = True,
                  retry_policy: Optional[RetryPolicy] = None,
-                 spans: Optional[bool] = None):
+                 spans: Optional[bool] = None,
+                 scheduler: Any = None,
+                 admission: Any = None):
         self.kernel = SimKernel()
-        self.queue = MessageQueue()
+        #: message ordering is the scheduling policy's job
+        #: (repro.sched.fair): None/"strict" reproduces the paper's
+        #: strict priority heap; "fair" is deficit round-robin across
+        #: workflows with priority aging
+        self.queue = MessageQueue(policy=make_policy(scheduler))
+        #: optional admission control (repro.sched.admission): depth/
+        #: in-flight watermarks that delay or shed work at the front
+        #: door.  None (the default) accepts everything, as the paper's
+        #: production system does.
+        self.admission = make_admission(admission)
         #: causal span tracing (repro.observe); follows ``trace`` unless
         #: set explicitly.  Hot paths guard on the single ``enabled``
         #: flag, so a disabled tracer allocates nothing.
@@ -225,6 +243,8 @@ class Cluster:
                                           affinity=affinity,
                                           retry_policy=retry_policy,
                                           parent_span=parent_span)
+        if self.admission is not None and not self._admit(message):
+            return message
         self.queue.enqueue(message, self.kernel.now)
         self.trace.record(self.kernel.now, "enqueue", service=service,
                           operation=operation, msg=message.id,
@@ -232,6 +252,67 @@ class Cluster:
         self.kernel.schedule(self.delivery_latency,
                              lambda: self._kick(service))
         return message
+
+    def _admit(self, message: Message) -> bool:
+        """Run a new message through admission control.
+
+        Returns True when the message was enqueued normally should
+        proceed (ACCEPT); on DELAY the enqueue is rescheduled after a
+        backoff, on SHED the caller is answered immediately with a
+        retryable ServerBusy fault — in both cases False is returned
+        and :meth:`send` stops there.
+        """
+        service = message.service
+        in_flight = sum(1 for r in self._in_flight
+                        if r.message.service == service)
+        backlog = self.queue.peek_depth(service) + in_flight
+        slots = sum(n.slots for n in self.nodes.values()
+                    if n.alive and service in n.services)
+        # a request nobody awaits can only be delayed, never shed:
+        # there is no caller to hand the ServerBusy fault to
+        sheddable = message.reply_to is not None
+        verdict, delay = self.admission.decide(
+            service, message.operation, backlog, slots, sheddable)
+        if verdict == ADMIT_SHED:
+            self._record_admission(message, verdict, backlog, delay)
+            self._route_reply(message.reply_to, ResponseEnvelope(
+                fault_qname=SERVER_BUSY_QNAME,
+                fault_message=f"{service}.{message.operation} shed: "
+                              f"backlog {backlog} over {slots} slots"),
+                parent_span=message.parent_span)
+            return False
+        if verdict == ADMIT_DELAY:
+            self._record_admission(message, verdict, backlog, delay)
+            self.kernel.schedule(
+                delay, lambda m=message: (
+                    self.queue.enqueue(m, self.kernel.now),
+                    self.kernel.schedule(self.delivery_latency,
+                                         lambda: self._kick(m.service))))
+            return False
+        return True
+
+    def _record_admission(self, message: Message, verdict: str,
+                          backlog: int, delay: float) -> None:
+        self.counters.incr(f"admission.{verdict}")
+        self.trace.record(self.kernel.now, f"admission-{verdict}",
+                          service=message.service,
+                          operation=message.operation, msg=message.id,
+                          backlog=backlog, delay=delay)
+        if self.metrics.enabled:
+            self.metrics.counter(
+                "sched.admission.shed" if verdict == ADMIT_SHED
+                else "sched.admission.delayed").inc()
+            self.metrics.gauge(
+                f"sched.backlog.{message.service}").set(backlog)
+        if self.tracer.enabled:
+            span = self.tracer.begin(
+                f"sched:{verdict}:{message.service}", kind="sched",
+                start=self.kernel.now,
+                parent_id=message.parent_span or None, msg=message.id,
+                service=message.service, operation=message.operation,
+                backlog=backlog, delay=round(delay, 6),
+                **_trace_ids(message.body))
+            self.tracer.end(span, end=self.kernel.now + delay)
 
     def call(self, service: str, operation: str, body: Dict[str, Any],
              priority: int = PRIORITY_NORMAL,
@@ -394,8 +475,13 @@ class Cluster:
                       and node.free_slots > 0]
         if not candidates:
             return None
-        least = min(c.node.busy for c in candidates)
-        pool = [c for c in candidates if c.node.busy == least]
+        # least-loaded: rank by busy *fraction*, not absolute busy
+        # count, so a 2-slot node at 1/2 ranks behind an 8-slot node at
+        # 1/8 on heterogeneous clusters (identical ordering when every
+        # node has the same slot count)
+        least = min(c.node.busy / c.node.slots for c in candidates)
+        pool = [c for c in candidates
+                if c.node.busy / c.node.slots == least]
         return self.rng.choice(pool)
 
     def _process(self, instance: ServiceInstance, message: Message,
@@ -479,6 +565,9 @@ class Cluster:
         record.instance.processed += 1
         self.counters.incr(f"op.{record.message.service}.{record.message.operation}")
         self.counters.add("busy_time", duration)
+        if self.metrics.enabled:
+            # the spawn governor's operation-latency signal
+            self.metrics.histogram("op.duration").observe(duration)
         message = record.message
         if record.context is not None:
             for hook in record.context.completion_hooks:

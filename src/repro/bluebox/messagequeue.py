@@ -8,14 +8,24 @@ re-delivers messages when an instance fails (Section 3.2), and it alone
 decides where a fiber runs (Section 4.2: "Vinz executes no control over
 where a fiber will be asked to run, leaving that in the hands of the
 message queue").
+
+Message *ordering* is delegated to a pluggable scheduling policy
+(:mod:`repro.sched.fair`): the default :class:`~repro.sched.fair.
+StrictPriorityPolicy` reproduces the paper's strict priority heap,
+while :class:`~repro.sched.fair.DeficitRoundRobinPolicy` adds per-
+workflow fairness with priority aging.  The queue keeps the delivery
+bookkeeping (attempts, dead letters, wait statistics, hop spans)
+either way.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import random
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sched.fair import SchedulingPolicy, StrictPriorityPolicy
 
 # Priorities: lower value = delivered first.  The paper (Section 5)
 # specifies AwakeFiber requests to be low-priority so that bursts of
@@ -23,6 +33,10 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 PRIORITY_INTERACTIVE = 2
 PRIORITY_NORMAL = 5
 PRIORITY_LOW = 8
+
+#: how many individual waits the bounded reservoir keeps; the mean is
+#: streamed exactly, percentiles come from this uniform sample
+WAIT_RESERVOIR_SIZE = 4096
 
 
 @dataclass
@@ -88,15 +102,16 @@ class Message:
 
 
 class MessageQueue:
-    """Per-service priority queues plus delivery bookkeeping.
+    """Per-service message scheduling plus delivery bookkeeping.
 
     The queue itself is passive data; the :class:`~repro.bluebox.cluster.
     Cluster` drives delivery by asking for the next deliverable message
-    whenever an instance slot frees up.
+    whenever an instance slot frees up.  Which message that is belongs
+    to the scheduling ``policy``.
     """
 
-    def __init__(self):
-        self._queues: Dict[str, List[Tuple[int, int, Message]]] = {}
+    def __init__(self, policy: Optional[SchedulingPolicy] = None):
+        self.policy: SchedulingPolicy = policy or StrictPriorityPolicy()
         self._seq = itertools.count()
         self._ids = itertools.count(1)
         #: messages whose retry policy is exhausted, kept for
@@ -116,7 +131,16 @@ class MessageQueue:
         self.duplicated = 0
         self.dropped = 0
         self.dead_lettered = 0
+        #: a bounded uniform sample of waits (reservoir, Algorithm R);
+        #: the exact mean is streamed separately, so unbounded runs no
+        #: longer grow memory with every delivery
         self.wait_times: List[float] = []
+        self._wait_count = 0
+        self._wait_total = 0.0
+        self._reservoir_rng = random.Random(0x77A17)
+
+    def _now(self, fallback: float = 0.0) -> float:
+        return self.now_fn() if self.now_fn is not None else fallback
 
     def make_message(self, service: str, operation: str, body: Dict[str, Any],
                      priority: int = PRIORITY_NORMAL,
@@ -153,17 +177,14 @@ class MessageQueue:
         if not message.origin_span_id:
             message.origin_span_id = message.span_id
 
-    def peek_message(self, service: str) -> Optional[Message]:
-        """The next message for ``service``, without popping it."""
-        heap = self._queues.get(service)
-        if not heap:
-            return None
-        return heap[0][2]
+    def peek_message(self, service: str,
+                     now: Optional[float] = None) -> Optional[Message]:
+        """The message the policy would deliver next, without popping."""
+        return self.policy.peek(service, self._now() if now is None else now)
 
     def enqueue(self, message: Message, now: float) -> None:
         message.enqueued_at = now
-        heap = self._queues.setdefault(message.service, [])
-        heapq.heappush(heap, (message.priority, next(self._seq), message))
+        self.policy.push(message.service, message, next(self._seq), now)
         self.enqueued += 1
         if self.tracer is not None and self.tracer.enabled:
             self._begin_hop(message, now)
@@ -186,17 +207,23 @@ class MessageQueue:
             return False
         self.redelivered += 1
         if push:
-            self.push_back(message)
+            self.push_back(message, now=now)
         return True
 
-    def push_back(self, message: Message) -> None:
+    def push_back(self, message: Message,
+                  now: Optional[float] = None) -> None:
         """Re-insert an already-accounted message (backoff expiry,
-        delivery-delay faults, duplicate deliveries)."""
-        heap = self._queues.setdefault(message.service, [])
-        heapq.heappush(heap, (message.priority, next(self._seq), message))
+        delivery-delay faults, duplicate deliveries).
+
+        ``enqueued_at`` is restamped to the re-insertion instant:
+        ``queue.wait`` measures each *stay* on the queue, so a backoff
+        retry must not be charged the time it spent off the queue (the
+        overall retry budget still runs from ``first_enqueued_at``).
+        """
+        now = self._now(message.enqueued_at) if now is None else now
+        message.enqueued_at = now
+        self.policy.push(message.service, message, next(self._seq), now)
         if self.tracer is not None and self.tracer.enabled:
-            now = self.now_fn() if self.now_fn is not None \
-                else message.enqueued_at
             self._begin_hop(message, now, retry=True)
 
     def dead_letter(self, message: Message) -> None:
@@ -211,23 +238,22 @@ class MessageQueue:
         self.dead_letters.append(message)
         if self.tracer is not None and self.tracer.enabled \
                 and message.origin_span_id:
-            now = self.now_fn() if self.now_fn is not None \
-                else message.enqueued_at
-            self.tracer.annotate(message.origin_span_id, now, "dead-letter",
-                                 msg=message.id, attempts=message.attempts)
+            self.tracer.annotate(message.origin_span_id,
+                                 self._now(message.enqueued_at),
+                                 "dead-letter", msg=message.id,
+                                 attempts=message.attempts)
 
     def dead_letter_ids(self) -> List[int]:
         return [m.id for m in self.dead_letters]
 
     def pop_next(self, service: str, now: float) -> Optional[Message]:
-        """Remove and return the highest-priority message for ``service``."""
-        heap = self._queues.get(service)
-        if not heap:
+        """Remove and return the next message the policy schedules."""
+        message = self.policy.pop(service, now)
+        if message is None:
             return None
-        _prio, _seq, message = heapq.heappop(heap)
         self.delivered += 1
         wait = now - message.enqueued_at
-        self.wait_times.append(wait)
+        self._record_wait(wait)
         if self.metrics is not None and self.metrics.enabled:
             self.metrics.histogram("queue.wait").observe(wait)
         if self.tracer is not None and self.tracer.enabled \
@@ -236,26 +262,58 @@ class MessageQueue:
         return message
 
     def peek_depth(self, service: str) -> int:
-        return len(self._queues.get(service, []))
+        return self.policy.depth(service)
 
-    def peek_priority(self, service: str) -> Optional[Tuple[int, int]]:
-        """The (priority, seq) of the next message, without popping."""
-        heap = self._queues.get(service)
-        if not heap:
-            return None
-        priority, seq, _message = heap[0]
-        return (priority, seq)
+    def peek_priority(self, service: str,
+                      now: Optional[float] = None
+                      ) -> Optional[Tuple[float, int]]:
+        """The (priority, seq) of the next message, without popping.
+
+        Under a fair policy the priority is the *effective* (aged)
+        priority, so cross-service comparisons see what the scheduler
+        sees."""
+        return self.policy.peek_priority(service,
+                                         self._now() if now is None else now)
 
     def total_depth(self) -> int:
-        return sum(len(h) for h in self._queues.values())
+        return self.policy.total_depth()
 
     def services_with_messages(self) -> List[str]:
-        return [s for s, h in self._queues.items() if h]
+        return self.policy.services()
+
+    # -- wait statistics ----------------------------------------------------
+
+    def _record_wait(self, wait: float) -> None:
+        self._wait_count += 1
+        self._wait_total += wait
+        if len(self.wait_times) < WAIT_RESERVOIR_SIZE:
+            self.wait_times.append(wait)
+        else:
+            slot = self._reservoir_rng.randrange(self._wait_count)
+            if slot < WAIT_RESERVOIR_SIZE:
+                self.wait_times[slot] = wait
+
+    def wait_count(self) -> int:
+        """Deliveries recorded (exact, streamed)."""
+        return self._wait_count
+
+    def wait_sum(self) -> float:
+        """Total seconds waited across all deliveries (exact)."""
+        return self._wait_total
 
     def mean_wait(self) -> float:
+        if not self._wait_count:
+            return 0.0
+        return self._wait_total / self._wait_count
+
+    def wait_percentile(self, q: float) -> float:
+        """Approximate wait percentile from the reservoir sample
+        (``q`` in [0, 1]) — the metrics-off fallback for p99."""
         if not self.wait_times:
             return 0.0
-        return sum(self.wait_times) / len(self.wait_times)
+        ordered = sorted(self.wait_times)
+        index = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[index]
 
 
 def _trace_ids(body: Dict[str, Any]) -> Dict[str, Any]:

@@ -115,7 +115,11 @@ def value_to_element(tag: str, value: Any) -> XmlElement:
             # XML 1.0 cannot carry most control characters as text;
             # escape such strings (and distinguish "" from absent text)
             el.attrs["enc"] = "escaped"
-            el.text = value.encode("unicode_escape").decode("ascii")
+            # unicode_escape leaves plain spaces alone, so a whitespace-only
+            # string would still be dropped by the parser; escape spaces too
+            # (safe: literal backslashes are already doubled at this point)
+            el.text = (value.encode("unicode_escape").decode("ascii")
+                       .replace(" ", "\\x20"))
         else:
             el.text = value
     elif isinstance(value, (Symbol, Keyword)):

@@ -44,6 +44,25 @@ CAMPAIGN_WORKFLOW = """
     (list :id (getf params :id) :total total)))
 """
 
+#: variant of the campaign workload that opts into the adaptive spawn
+#: governor before fanning out: ``(auto-spawn-limit)`` flips the task's
+#: spawn limit to the governor, and because the fan-out loop re-reads the
+#: limit per iteration, injected latency/slowdown faults visibly shrink
+#: the fan-out mid-flight (and it re-widens once the fault window ends).
+ADAPTIVE_CAMPAIGN_WORKFLOW = """
+(deflink DS :wsdl "urn:campaign-data")
+
+(defun main (params)
+  ;; params: (:id n :items (...))
+  (auto-spawn-limit)
+  (let* ((items (getf params :items))
+         (enriched (for-each (x in items)
+                     (compute 0.2)
+                     (+ x (DS-Lookup-Method :Key x))))
+         (total (apply #'+ enriched)))
+    (list :id (getf params :id) :total total)))
+"""
+
 CAMPAIGN_NAMESPACE = "urn:campaign-data"
 
 
@@ -132,7 +151,11 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
                  tasks: int = 4, nodes: int = 4,
                  retry_policy: Optional[RetryPolicy] = None,
                  trace: bool = True,
-                 spawn_limit: int = 3, store=None) -> CampaignReport:
+                 spawn_limit: int = 3, store=None,
+                 adaptive_spawn: bool = False,
+                 scheduler: Any = None, admission: Any = None,
+                 governor: Any = None,
+                 items_range: Tuple[int, int] = (2, 5)) -> CampaignReport:
     """Execute the named ``(seed, plan)`` chaos campaign to quiescence.
 
     ``retry_policy`` defaults to :meth:`RetryPolicy.default` — bounded
@@ -140,21 +163,33 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
     retried a finite number of times and exhaustion dead-letters.
     ``store`` swaps the shared-store implementation (e.g. a
     :class:`~repro.durastore.DurableStore` for crash-recovery
-    campaigns).
+    campaigns).  ``adaptive_spawn`` deploys the governor-opted workflow
+    variant; ``scheduler``/``admission``/``governor`` pass through to
+    :class:`~repro.vinz.api.VinzEnvironment` to exercise the
+    ``repro.sched`` subsystem under faults.  ``items_range`` bounds the
+    per-task item count: fan-outs wider than the spawn limit keep the
+    Listing-3 throttle loop re-reading the limit for the whole run,
+    which is what lets a governor campaign observe mid-flight
+    adaptation.
     """
     policy = retry_policy if retry_policy is not None \
         else RetryPolicy.default()
     env = VinzEnvironment(nodes=nodes, seed=seed, trace=trace,
-                          retry_policy=policy, store=store)
+                          retry_policy=policy, store=store,
+                          scheduler=scheduler, admission=admission,
+                          governor=governor)
     env.deploy_service(data_service())
-    env.deploy_workflow("Campaign", CAMPAIGN_WORKFLOW,
+    source = ADAPTIVE_CAMPAIGN_WORKFLOW if adaptive_spawn \
+        else CAMPAIGN_WORKFLOW
+    env.deploy_workflow("Campaign", source,
                         spawn_limit=spawn_limit)
     injector = FaultInjector(seed, plan).install(env)
 
     rng = random.Random(seed ^ 0x5EED)
     started: List[Tuple[int, List[int]]] = []
     for i in range(tasks):
-        items = [rng.randint(1, 9) for _ in range(rng.randint(2, 5))]
+        items = [rng.randint(1, 9)
+                 for _ in range(rng.randint(*items_range))]
         started.append((i, items))
         env.cluster.send("Campaign", "Start",
                          {"params": [Keyword("id"), i,

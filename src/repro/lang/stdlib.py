@@ -187,6 +187,15 @@ def _max(*args):
     return max(args)
 
 
+@builtin("clamp")
+def _clamp(x, low, high):
+    """Bound x to [low, high] (handy for workflow-side spawn-limit
+    arithmetic around the adaptive governor)."""
+    if low > high:
+        raise ValueError(f"clamp: empty range [{low}, {high}]")
+    return min(max(x, low), high)
+
+
 @builtin("expt")
 def _expt(base, power):
     return base ** power

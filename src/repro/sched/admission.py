@@ -1,0 +1,137 @@
+"""Admission control with backpressure for the BlueBox cluster.
+
+The seed cluster accepts every ``send`` unconditionally: under overload
+the queue grows without bound, every message's wait inflates, and the
+caller learns nothing until its retry policy times out.  This module
+adds per-service watermarks checked at the cluster's front door:
+
+* below ``delay_watermark`` backlog per service slot — **accept**;
+* between the watermarks — **delay**: the message is held off the
+  queue for a backoff computed by a :class:`~repro.faults.retry.
+  RetryPolicy` from the overload ratio, smearing bursts instead of
+  stacking them;
+* above ``shed_watermark`` — **shed**: the request is answered
+  immediately with a retryable ``{urn:bluebox}ServerBusy`` fault.
+  Through the deflink response path that fault surfaces in Gozer as a
+  ``service-error`` condition carrying the QName, so a
+  ``(defhandler ... :code ("{urn:bluebox}ServerBusy") :action retry)``
+  — or any caller-side RetryPolicy — turns overload into a clean
+  retry loop instead of a timeout.
+
+Backlog counts queued plus in-flight work, normalised by the service's
+alive slots, so watermarks mean the same thing on any cluster size.
+
+Fiber-lifecycle operations (RunFiber, AwakeFiber, ResumeFromCall,
+JoinProcess, DeliverMessage) and management traffic are exempt:
+admission governs work *entering* the platform, never the internal
+messages that let already-admitted work finish — shedding those would
+trade overload for deadlock.  Requests without a ``reply_to`` are
+never shed (there is nobody to tell), only delayed.
+
+Every decision is visible: ``sched.admission.delayed`` / ``.shed``
+counters, a ``sched.backlog.<service>`` gauge, and ``sched``-kind
+spans for shed/delay events in the Chrome trace export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, FrozenSet, Optional, Tuple
+
+from ..faults.retry import RetryPolicy
+
+ACCEPT = "accept"
+DELAY = "delay"
+SHED = "shed"
+
+#: the retryable overload fault (same namespace as DeadLettered)
+SERVER_BUSY_QNAME = "{urn:bluebox}ServerBusy"
+
+#: operations admission never impedes: internal fiber-lifecycle
+#: progress and management traffic
+EXEMPT_OPERATIONS: FrozenSet[str] = frozenset({
+    "RunFiber", "AwakeFiber", "ResumeFromCall", "JoinProcess",
+    "DeliverMessage", "Terminate",
+})
+
+
+def _default_delay_policy() -> RetryPolicy:
+    # deterministic (jitter-free) backoff: the delay depends only on
+    # how far past the watermark the service is
+    return RetryPolicy(max_attempts=None, base_delay=0.02, multiplier=2.0,
+                       max_delay=1.0, jitter=0.0)
+
+
+@dataclass
+class AdmissionConfig:
+    """Watermarks and backoff for :class:`AdmissionController`."""
+
+    #: backlog (queued + in-flight) per alive service slot at which
+    #: new requests start being delayed / shed
+    delay_watermark: float = 4.0
+    shed_watermark: float = 12.0
+    #: computes the hold-off for DELAY verdicts; "attempt" is the
+    #: overload multiple (backlog / delay watermark), so deeper
+    #: overload backs off exponentially harder
+    delay_policy: RetryPolicy = field(default_factory=_default_delay_policy)
+    #: operations that are always accepted
+    exempt_operations: FrozenSet[str] = EXEMPT_OPERATIONS
+    #: restrict admission to these services (None = govern every
+    #: service).  Typical deployments guard the hot backend services
+    #: and leave workflow-control traffic ungoverned.
+    services: Optional[FrozenSet[str]] = None
+
+
+class AdmissionController:
+    """Pure watermark policy plus decision counters.
+
+    The cluster supplies the load figures (it owns the queue and the
+    in-flight table) and acts on the verdict; the controller decides
+    and counts.  Stateless across messages, so it replays exactly.
+    """
+
+    def __init__(self, config: Optional[AdmissionConfig] = None):
+        self.config = config or AdmissionConfig()
+        self.accepted = 0
+        self.delayed = 0
+        self.shed = 0
+
+    def decide(self, service: str, operation: str, backlog: int,
+               slots: int, sheddable: bool) -> Tuple[str, float]:
+        """(verdict, delay_seconds) for one incoming request."""
+        cfg = self.config
+        if cfg.services is not None and service not in cfg.services:
+            self.accepted += 1
+            return (ACCEPT, 0.0)
+        if operation in cfg.exempt_operations:
+            self.accepted += 1
+            return (ACCEPT, 0.0)
+        per_slot = backlog / max(1, slots)
+        if per_slot < cfg.delay_watermark:
+            self.accepted += 1
+            return (ACCEPT, 0.0)
+        if per_slot >= cfg.shed_watermark and sheddable:
+            self.shed += 1
+            return (SHED, 0.0)
+        overload = int(per_slot / cfg.delay_watermark)
+        delay = cfg.delay_policy.backoff_delay(max(1, overload), rng=None)
+        self.delayed += 1
+        return (DELAY, delay)
+
+    def summary(self) -> dict:
+        return {"accepted": self.accepted, "delayed": self.delayed,
+                "shed": self.shed}
+
+
+def make_admission(spec: Any) -> Optional[AdmissionController]:
+    """Resolve an admission spec: None -> off, True -> defaults, an
+    AdmissionConfig -> controller over it, or a ready controller."""
+    if spec is None or spec is False:
+        return None
+    if spec is True:
+        return AdmissionController()
+    if isinstance(spec, AdmissionConfig):
+        return AdmissionController(spec)
+    if isinstance(spec, AdmissionController):
+        return spec
+    raise ValueError(f"unknown admission spec {spec!r}")

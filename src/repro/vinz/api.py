@@ -27,6 +27,7 @@ from ..bluebox.locks import (
 from ..bluebox.monitoring import ConcurrencySampler, Counters
 from ..bluebox.store import SharedStore
 from ..gvm.futures import FutureExecutor, SynchronousFutureExecutor
+from ..sched.governor import GovernorConfig, SpawnGovernor
 from .service import WorkflowService
 from .task import COMPLETED, ProcessRegistry, TaskRecord
 
@@ -59,10 +60,21 @@ class VinzEnvironment:
                  spans: Optional[bool] = None,
                  placement: str = "balanced",
                  retry_policy=None,
+                 scheduler: Any = None,
+                 admission: Any = None,
+                 governor: Optional[GovernorConfig] = None,
                  future_executor_factory: Optional[Callable[[], FutureExecutor]] = None):
+        #: ``scheduler`` picks the queue's message-ordering policy
+        #: (None/"strict" = the paper's priority heap, "fair" = deficit
+        #: round-robin with priority aging); ``admission`` switches on
+        #: watermark admission control (True, an AdmissionConfig, or a
+        #: ready controller); ``governor`` tunes the AIMD spawn
+        #: governor backing ``(vinz-auto-spawn-limit)`` and
+        #: ``spawn_limit="auto"`` deployments.  All default to the
+        #: paper's behaviour.  See repro.sched / docs/scheduler.md.
         self.cluster = cluster if cluster is not None else \
             Cluster(seed=seed, trace=trace, retry_policy=retry_policy,
-                    spans=spans)
+                    spans=spans, scheduler=scheduler, admission=admission)
         if retry_policy is not None and cluster is not None:
             self.cluster.retry_policy = retry_policy
         if not self.cluster.nodes:
@@ -76,6 +88,10 @@ class VinzEnvironment:
             self.store.tracer = self.cluster.tracer
             self.store.metrics = self.cluster.metrics
             self.store.now_fn = lambda: self.cluster.kernel.now
+        #: the adaptive spawn governor (repro.sched.governor).  Always
+        #: present — it only acts for tasks/deployments that opt in
+        #: with ``spawn_limit="auto"`` or ``(vinz-auto-spawn-limit)``.
+        self.governor = SpawnGovernor(self.cluster, governor)
         #: optional FaultInjector (set by FaultInjector.install(env))
         self.injector = None
         # dead-lettered fiber messages must fail their task/fiber
@@ -398,6 +414,15 @@ class VinzEnvironment:
                 "injected": self.cluster.counters.get("fault.injected"),
                 "retries_scheduled": self.cluster.counters.get("retry.scheduled"),
                 "operation_faults": self.cluster.counters.get("operation.faults"),
+            },
+            "sched": {
+                "policy": self.cluster.queue.policy.name,
+                "governor": self.governor.summary(),
+                "admission": (self.cluster.admission.summary()
+                              if self.cluster.admission is not None
+                              else None),
+                "aged_promotions": getattr(self.cluster.queue.policy,
+                                           "aged_promotions", 0),
             },
             "cache": self.cache_hit_rates(),
             "utilization": self.cluster.utilization(),

@@ -162,6 +162,12 @@ def install_intrinsics(runtime) -> None:
     vinz_set_spawn_limit.needs_vm = True
     env.define_intrinsic("vinz-set-spawn-limit", vinz_set_spawn_limit)
 
+    def vinz_auto_spawn_limit(vm):
+        return _vinz(vm).auto_spawn_limit()
+
+    vinz_auto_spawn_limit.needs_vm = True
+    env.define_intrinsic("vinz-auto-spawn-limit", vinz_auto_spawn_limit)
+
     def vinz_current_fiber(vm):
         return _vinz(vm).fiber.id
 
@@ -517,6 +523,13 @@ resources) until one arrives."
 
 (defun get-spawn-limit ()
   (%vinz-spawn-limit))
+
+(defun auto-spawn-limit ()
+  "Hand this task's spawn limit to the adaptive AIMD governor
+(repro.sched.governor): subsequent for-each/parallel iterations re-read
+the governed limit, so fan-out width follows live cluster load.
+Returns the currently governed limit."
+  (%vinz-auto-spawn-limit))
 
 (defun workflow-sleep (seconds)
   "Suspend this fiber for SECONDS of (simulated) time, consuming no

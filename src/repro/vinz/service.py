@@ -54,6 +54,7 @@ from ..gvm.vm import Done, Yielded
 from ..lang.errors import GozerRuntimeError
 from ..lang.symbols import Symbol, gensym_scope
 from ..observe.metrics import exponential_buckets
+from ..sched.governor import AUTO_SPAWN_LIMIT
 from . import deflink as deflink_module
 from . import distribution, handlers
 from .cache import FiberCache
@@ -79,6 +80,8 @@ class WorkflowService(Service):
     Configuration knobs (all per the paper):
 
     * ``spawn_limit`` — default concurrent-children throttle (§3.5);
+      an int, or ``"auto"`` to delegate to the environment's AIMD
+      spawn governor (repro.sched.governor);
     * ``awake_patience`` — how long an AwakeFiber holds its slot waiting
       for the fiber lock before requeueing itself (§5);
     * ``instruction_cost`` — simulated seconds charged per executed GVM
@@ -95,7 +98,7 @@ class WorkflowService(Service):
 
     def __init__(self, name: str, source: str, vinz_env,
                  main: str = "main",
-                 spawn_limit: int = 4,
+                 spawn_limit: Any = 4,
                  awake_patience: float = 0.02,
                  requeue_delay: float = 0.02,
                  instruction_cost: float = 2e-6,
@@ -1245,13 +1248,30 @@ class FiberExecution:
     # -- spawn limit ----------------------------------------------------------
 
     def spawn_limit(self) -> int:
-        if self.task.spawn_limit is not None:
-            return self.task.spawn_limit
-        return self.service.default_spawn_limit
+        """The task's effective spawn limit right now.
+
+        The Listing-3 throttle loop re-reads this every iteration, so
+        a task under the ``"auto"`` sentinel (set per deployment with
+        ``spawn_limit="auto"`` or per task with
+        ``(vinz-auto-spawn-limit)``) follows the AIMD governor's
+        decisions mid-fan-out.
+        """
+        limit = self.task.spawn_limit
+        if limit is None:
+            limit = self.service.default_spawn_limit
+        if limit == AUTO_SPAWN_LIMIT:
+            return self.service.vinz.governor.current_limit(self.ctx.now)
+        return limit
 
     def set_spawn_limit(self, n: int) -> int:
         self.task.spawn_limit = max(1, n)
         return self.task.spawn_limit
+
+    def auto_spawn_limit(self) -> int:
+        """Hand this task's spawn limit to the adaptive governor;
+        returns the currently governed limit."""
+        self.task.spawn_limit = AUTO_SPAWN_LIMIT
+        return self.service.vinz.governor.current_limit(self.ctx.now)
 
     # -- task variables (Section 3.6) ----------------------------------------
 

@@ -40,8 +40,10 @@ class TaskRecord:
     created_at: float = 0.0
     finished_at: Optional[float] = None
     fiber_ids: List[str] = field(default_factory=list)
-    #: per-task spawn limit (paper Section 3.5); None = service default
-    spawn_limit: Optional[int] = None
+    #: per-task spawn limit (paper Section 3.5): an int, the "auto"
+    #: sentinel (delegate to the adaptive spawn governor), or None =
+    #: service default
+    spawn_limit: Optional[Any] = None
     #: absolute virtual-time deadline (EDF scheduling extension)
     deadline: Optional[float] = None
     #: callbacks to fire on completion (deferred Run/Call replies)

@@ -83,6 +83,12 @@ class ProductionDayResult:
     #: for sharded/durable stores — per-shard and journal sections),
     #: the raw material of the store-scaling benchmark
     store_stats: Dict[str, Any] = field(default_factory=dict)
+    #: tail of the queue-wait distribution (reservoir-sampled), the
+    #: latency figure the scheduler benchmark compares
+    queue_p99_wait: float = 0.0
+    #: scheduling-subsystem summary (policy, governor, admission) when
+    #: the run used one — see VinzEnvironment.summary()["sched"]
+    sched: Dict[str, Any] = field(default_factory=dict)
 
     def rows(self) -> List[tuple]:
         """(metric, paper value, measured value) rows for reporting."""
@@ -105,14 +111,20 @@ def run_production_day(scale: float = 0.01, nodes: int = 12,
                        slots: int = 4, seed: int = 2010,
                        profile: Optional[WorkloadProfile] = None,
                        trace: bool = False,
-                       store=None) -> ProductionDayResult:
+                       store=None,
+                       spawn_limit: Any = 8,
+                       scheduler: Any = None,
+                       admission: Any = None,
+                       governor: Any = None) -> ProductionDayResult:
     """Run a ``scale``-sized production day and collect statistics.
 
     ``scale=0.01`` runs 100 tasks over a 0.24-hour virtual window with
     a proportionally smaller cluster — the shape (not the absolute
     numbers) is what reproduces.  ``store`` swaps the shared-store
     implementation (flat / sharded / durable) for the store-scaling
-    benchmark.
+    benchmark.  ``spawn_limit`` (an int or ``"auto"`` for the adaptive
+    governor) plus ``scheduler``/``admission``/``governor`` drive the
+    scheduler benchmark's static-vs-adaptive comparison.
     """
     count = max(1, int(PAPER_TASKS_PER_DAY * scale))
     period = DAY_SECONDS * scale
@@ -122,10 +134,11 @@ def run_production_day(scale: float = 0.01, nodes: int = 12,
     generated = workload_statistics(specs)
 
     env = VinzEnvironment(nodes=nodes, slots=slots, seed=seed, trace=trace,
-                          store=store)
+                          store=store, scheduler=scheduler,
+                          admission=admission, governor=governor)
     env.deploy_service(datastore_service())
     env.deploy_workflow("Batch", BATCH_WORKFLOW_SOURCE,
-                        spawn_limit=8, instruction_cost=1e-6)
+                        spawn_limit=spawn_limit, instruction_cost=1e-6)
 
     for spec in specs:
         env.cluster.kernel.schedule(
@@ -151,4 +164,6 @@ def run_production_day(scale: float = 0.01, nodes: int = 12,
         cache_hit_rates=env.cache_hit_rates(),
         persist_writes=env.counters.get("persist.writes"),
         store_stats=env.store.stats_snapshot(),
+        queue_p99_wait=env.cluster.queue.wait_percentile(0.99),
+        sched=env.summary()["sched"],
     )
