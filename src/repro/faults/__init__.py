@@ -13,6 +13,7 @@ The chaos-campaign harness lives in :mod:`repro.faults.campaign`
 
 from .retry import RetryPolicy
 from .plan import (
+    CORRUPT_CHUNK,
     CORRUPT_READ,
     CRASH,
     DELAY,
@@ -23,23 +24,27 @@ from .plan import (
     Fault,
     FaultPlan,
     JournalFault,
+    MISSING_CHUNK,
     MessageFault,
     NodeFault,
     SHARD_OUTAGE,
     SLOW,
     ShardFault,
+    SnapshotFault,
     StoreFault,
     TORN_COMMIT,
+    TORN_MANIFEST,
 )
 from .injector import FaultInjector
 
 __all__ = [
     "RetryPolicy",
     "FaultPlan", "Fault", "MessageFault", "StoreFault", "NodeFault",
-    "ShardFault", "JournalFault",
+    "ShardFault", "JournalFault", "SnapshotFault",
     "FaultInjector",
     "DROP", "DUPLICATE", "DELAY",
     "FAIL_WRITE", "FAIL_READ", "CORRUPT_READ",
     "CRASH", "SLOW",
     "SHARD_OUTAGE", "TORN_COMMIT",
+    "TORN_MANIFEST", "MISSING_CHUNK", "CORRUPT_CHUNK",
 ]

@@ -155,7 +155,8 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
                  adaptive_spawn: bool = False,
                  scheduler: Any = None, admission: Any = None,
                  governor: Any = None,
-                 items_range: Tuple[int, int] = (2, 5)) -> CampaignReport:
+                 items_range: Tuple[int, int] = (2, 5),
+                 snapshots: str = "v1") -> CampaignReport:
     """Execute the named ``(seed, plan)`` chaos campaign to quiescence.
 
     ``retry_policy`` defaults to :meth:`RetryPolicy.default` — bounded
@@ -170,7 +171,9 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
     per-task item count: fan-outs wider than the spawn limit keep the
     Listing-3 throttle loop re-reading the limit for the whole run,
     which is what lets a governor campaign observe mid-flight
-    adaptation.
+    adaptation.  ``snapshots="v2"`` deploys with incremental
+    continuation snapshots, the target of torn-manifest and
+    missing-chunk campaigns.
     """
     policy = retry_policy if retry_policy is not None \
         else RetryPolicy.default()
@@ -182,7 +185,7 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
     source = ADAPTIVE_CAMPAIGN_WORKFLOW if adaptive_spawn \
         else CAMPAIGN_WORKFLOW
     env.deploy_workflow("Campaign", source,
-                        spawn_limit=spawn_limit)
+                        spawn_limit=spawn_limit, snapshots=snapshots)
     injector = FaultInjector(seed, plan).install(env)
 
     rng = random.Random(seed ^ 0x5EED)

@@ -53,6 +53,27 @@ class Continuation:
         top = self.frames[-1].function_name if self.frames else "?"
         return f"#<continuation {self.label} at {top} ({len(self.frames)} frames)>"
 
+    # Pickle as a fixed-order tuple rather than the instance __dict__:
+    # the stable field ordering — with the frame stack *last*, deepest
+    # frame first — keeps the hot mutation (the top frame's pc and
+    # operand stack) at the tail of the serialized stream, so
+    # content-defined chunking (persistsnap) finds the long unchanged
+    # prefix byte-identical between suspensions and dedups it.
+    def __getstate__(self):
+        return ("gozer-continuation", self.label, self.dynamics,
+                self.handlers, self.restarts, self.frames)
+
+    def __setstate__(self, state):
+        if isinstance(state, dict):  # legacy v1 blobs pickled __dict__
+            self.__dict__.update(state)
+            return
+        _tag, label, dynamics, handlers, restarts, frames = state
+        self.label = label
+        self.dynamics = dynamics
+        self.handlers = handlers
+        self.restarts = restarts
+        self.frames = frames
+
     def estimated_size(self) -> int:
         """A rough serialized-size estimate (frame and stack counts)."""
         return sum(len(f.stack) + len(f.code.instructions) for f in self.frames)

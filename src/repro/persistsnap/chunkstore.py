@@ -1,0 +1,154 @@
+"""The content-addressed chunk plane with reference counting.
+
+Chunks live in the ordinary shared store (and therefore in the durable
+store's journal, when one is configured) under ``snapchunk/<digest>``;
+each chunk's reference count lives beside it under ``snapref/<digest>``
+as a little-endian u32.  Refcount mutations are real store writes, so
+inside an operation window they ride the window's group-commit journal
+batch — a fiber completing decrements its chunks *in the journal*, and
+crash recovery replays exactly the committed refcount state.
+
+Reference counts are read through an in-memory cache (hydrated lazily
+with uncounted peeks, like the lock manager's metadata): every node in
+the simulation shares the store object, so the cache is just the
+store-side index a real implementation would keep per storage plane.
+Mutations always write through.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+CHUNK_PREFIX = "snapchunk/"
+REF_PREFIX = "snapref/"
+
+_REF = struct.Struct("<I")
+
+
+class ChunkStore:
+    """Refcounted content-addressed chunks over a shared store."""
+
+    def __init__(self, store):
+        self.store = store
+        #: hex digest -> cached refcount (write-through)
+        self._refs: Dict[str, int] = {}
+        #: hex digest -> stored payload length (for the size gauge)
+        self._sizes: Dict[str, int] = {}
+        # statistics
+        self.chunks_written = 0
+        self.chunks_reused = 0
+        self.chunks_deleted = 0
+        self.bytes_stored = 0
+
+    @classmethod
+    def for_store(cls, store) -> "ChunkStore":
+        """The chunk plane living on ``store`` (one per store, shared by
+        every workflow service, so dedup works across deployments)."""
+        plane = getattr(store, "_chunk_plane", None)
+        if plane is None:
+            plane = cls(store)
+            store._chunk_plane = plane
+        return plane
+
+    @staticmethod
+    def chunk_key(hex_digest: str) -> str:
+        return CHUNK_PREFIX + hex_digest
+
+    @staticmethod
+    def ref_key(hex_digest: str) -> str:
+        return REF_PREFIX + hex_digest
+
+    # -- refcount bookkeeping ---------------------------------------------
+
+    def refcount(self, hex_digest: str) -> int:
+        cached = self._refs.get(hex_digest)
+        if cached is not None:
+            return cached
+        raw = self.store.snapshot_value(self.ref_key(hex_digest))
+        count = _REF.unpack(raw)[0] if raw else 0
+        self._refs[hex_digest] = count
+        return count
+
+    def _write_ref(self, hex_digest: str, count: int) -> float:
+        cost = self.store.write(self.ref_key(hex_digest), _REF.pack(count))
+        self._refs[hex_digest] = count
+        return cost
+
+    # -- the write path ---------------------------------------------------
+
+    def add(self, hex_digest: str,
+            payload: bytes) -> Tuple[float, bool, Optional[bytes]]:
+        """Reference ``payload`` under its digest.
+
+        Writes the chunk only when it is not already stored; always
+        increments the refcount.  Returns ``(io_cost, created,
+        prev_ref_bytes)`` — the last two are what an abort-undo needs to
+        put the plane back exactly.
+        """
+        prev = self.refcount(hex_digest)
+        prev_bytes = _REF.pack(prev) if prev else None
+        cost = 0.0
+        created = False
+        if prev == 0 or not self.store.exists(self.chunk_key(hex_digest)):
+            cost += self.store.write(self.chunk_key(hex_digest), payload)
+            created = True
+            self.chunks_written += 1
+            self.bytes_stored += len(payload)
+            self._sizes[hex_digest] = len(payload)
+        else:
+            self.chunks_reused += 1
+        cost += self._write_ref(hex_digest, prev + 1)
+        return cost, created, prev_bytes
+
+    def rollback_add(self, hex_digest: str, prev_ref: Optional[bytes],
+                     created: bool) -> None:
+        """Abort-undo for one :meth:`add`: restore the refcount value
+        and remove a chunk this window created.  Uses ``rollback_value``
+        so a journaled store also scrubs the keys from its open batch."""
+        self.store.rollback_value(self.ref_key(hex_digest), prev_ref)
+        self._refs[hex_digest] = _REF.unpack(prev_ref)[0] if prev_ref else 0
+        if created:
+            self.store.rollback_value(self.chunk_key(hex_digest), None)
+            self.chunks_written -= 1
+            self.bytes_stored -= self._sizes.pop(hex_digest, 0)
+
+    # -- the release path (GC) --------------------------------------------
+
+    def release(self, hex_digest: str) -> float:
+        """Drop one reference; delete the chunk when none remain.
+
+        The decrement (or the deletes) are ordinary store mutations:
+        inside an operation window they join its journal batch, which
+        is how "GC via refcount decrement in the journal" composes with
+        crash recovery.
+        """
+        count = self.refcount(hex_digest)
+        if count <= 1:
+            cost = self.store.delete(self.chunk_key(hex_digest))
+            cost += self.store.delete(self.ref_key(hex_digest))
+            self._refs[hex_digest] = 0
+            self.chunks_deleted += 1
+            self.bytes_stored -= self._sizes.pop(hex_digest, 0)
+            return cost
+        return self._write_ref(hex_digest, count - 1)
+
+    # -- reads ------------------------------------------------------------
+
+    def get(self, hex_digest: str) -> Optional[bytes]:
+        """The stored payload, or ``None`` when the plane lost it.
+        Charged by the caller via the returned payload's size."""
+        key = self.chunk_key(hex_digest)
+        if not self.store.exists(key):
+            return None
+        return self.store.read(key)
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, int]:
+        return {
+            "chunks_written": self.chunks_written,
+            "chunks_reused": self.chunks_reused,
+            "chunks_deleted": self.chunks_deleted,
+            "bytes_stored": self.bytes_stored,
+        }

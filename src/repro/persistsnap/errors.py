@@ -1,0 +1,68 @@
+"""Typed failure modes of the incremental-snapshot plane.
+
+Every way a v2 snapshot can fail to restore has its own exception
+class, and every one of them is a :class:`~repro.bluebox.store.StoreError`
+subclass: the platform treats a detected-corrupt snapshot exactly like
+a failed store IO — the operation window aborts, state rolls back, and
+the message retries per its policy (or dead-letters, failing the fiber
+through the condition system).  What can never happen is a *wrong-value*
+restore: corruption is always detected (manifest CRC, per-chunk digest,
+whole-state digest) before any state reaches the GVM.
+
+All errors carry the fiber id and snapshot format version when the
+caller supplied them, so an operator reading a dead-letter report knows
+*which* fiber's state is bad and in *which* format it was written.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..bluebox.store import StoreError
+
+
+class SnapshotError(StoreError):
+    """Base class for incremental-snapshot (v2) failures.
+
+    Detected mid-fiber these tunnel through the GVM (they are platform
+    IO problems, not program conditions) and abort the operation window
+    for a policy-driven retry.
+    """
+
+    tunnels_through_vm = True
+
+    def __init__(self, message: str, fiber_id: Optional[str] = None,
+                 fmt: str = "v2"):
+        if fiber_id is not None:
+            message = f"{message} (fiber={fiber_id}, format={fmt})"
+        super().__init__(message)
+        self.fiber_id = fiber_id
+        self.format = fmt
+
+    def __str__(self) -> str:  # StoreError is a KeyError; avoid repr quoting
+        return self.args[0]
+
+
+class TornManifestError(SnapshotError):
+    """The manifest blob is truncated or fails its CRC frame — the
+    writer died mid-write (or the storage tore the block)."""
+
+
+class ManifestFormatError(SnapshotError):
+    """The manifest parsed but its layout is not one this reader
+    understands (unknown version byte, impossible entry counts)."""
+
+
+class MissingChunkError(SnapshotError):
+    """A manifest references a chunk the store no longer holds."""
+
+
+class ChunkCorruptionError(SnapshotError):
+    """A chunk's payload failed its integrity check (inflate error,
+    length mismatch, or content-digest mismatch)."""
+
+
+class StateDigestError(SnapshotError):
+    """Every chunk verified individually but the reassembled state does
+    not match the manifest's whole-state digest (e.g. reordered or
+    substituted entries in a manifest whose frame was re-checksummed)."""

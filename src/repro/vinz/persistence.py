@@ -33,9 +33,52 @@ import struct
 import zlib
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..bluebox.store import StoreError
 from ..lang.bytecode import CodeObject
 
 MAGIC = b"GZR1"
+
+#: magic of the v2 incremental-snapshot manifest (persistsnap); a v1
+#: reader must recognize it to refuse it *clearly* rather than fail
+#: deep inside unpickling
+SNAPSHOT_V2_MAGIC = b"GZS2"
+
+
+class DeserializationError(StoreError, ValueError):
+    """A persisted fiber blob failed to decode.
+
+    Carries the fiber id, the snapshot format and the codec (when
+    known), so a dead-letter report names *which* fiber's state is
+    undecodable instead of surfacing a bare ``zlib.error`` — the latent
+    bug class this hierarchy fixes.  A :class:`~repro.bluebox.store.StoreError`
+    so detection mid-fiber aborts the operation window for a
+    policy-driven retry; also a :class:`ValueError` for callers probing
+    blobs directly.
+    """
+
+    tunnels_through_vm = True
+
+    def __init__(self, message: str, fiber_id: Optional[str] = None,
+                 fmt: str = "v1", codec: Optional[str] = None):
+        detail = []
+        if fiber_id is not None:
+            detail.append(f"fiber={fiber_id}")
+        detail.append(f"format={fmt}")
+        if codec is not None:
+            detail.append(f"codec={codec}")
+        super().__init__(f"{message} ({', '.join(detail)})")
+        self.fiber_id = fiber_id
+        self.format = fmt
+        self.codec = codec
+
+    def __str__(self) -> str:  # StoreError is a KeyError; avoid repr quoting
+        return self.args[0]
+
+
+class SnapshotFormatError(DeserializationError):
+    """The blob's *framing* is not one this deployment can read: not a
+    fiber blob at all, an unknown codec byte, or — the downgrade guard —
+    a v2 manifest read by a service configured for v1 snapshots."""
 
 CODEC_NONE = b"N"
 CODEC_GZIP = b"G"
@@ -218,19 +261,39 @@ class FiberCodec:
 
     # -- decode ---------------------------------------------------------
 
-    def loads(self, blob: bytes) -> Any:
+    def loads(self, blob: bytes, fiber_id: Optional[str] = None) -> Any:
+        if blob[:4] == SNAPSHOT_V2_MAGIC:
+            # downgrade guard: this fiber was persisted as a v2
+            # incremental-snapshot manifest; a v1-configured service
+            # must refuse it loudly, not feed manifest bytes to zlib
+            raise SnapshotFormatError(
+                "blob is a v2 incremental-snapshot manifest; this service "
+                "reads v1 — redeploy with snapshots=\"v2\" to restore it",
+                fiber_id=fiber_id, fmt="v2")
         if blob[:4] != MAGIC:
-            raise ValueError("not a Gozer fiber blob")
+            raise SnapshotFormatError("not a Gozer fiber blob",
+                                      fiber_id=fiber_id)
         codec = blob[4:5]
         payload = blob[5:]
-        if codec == CODEC_NONE:
-            state = self._unpickle(payload)
-        elif codec == CODEC_GZIP:
-            state = self._unpickle(gzip.decompress(payload))
-        elif codec in (CODEC_DEFLATE, CODEC_CUSTOM):
-            state = self._unpickle(zlib.decompress(payload))
-        else:
-            raise ValueError(f"unknown codec byte {codec!r}")
+        codec_name = next(
+            (name for name, byte in self.NAMES.items() if byte == codec),
+            None)
+        if codec_name is None:
+            raise SnapshotFormatError(f"unknown codec byte {codec!r}",
+                                      fiber_id=fiber_id)
+        try:
+            if codec == CODEC_NONE:
+                raw = payload
+            elif codec == CODEC_GZIP:
+                raw = gzip.decompress(payload)
+            else:  # deflate and custom
+                raw = zlib.decompress(payload)
+        except (zlib.error, gzip.BadGzipFile, EOFError, OSError) as exc:
+            raise DeserializationError(
+                f"fiber blob failed to decompress: {exc}",
+                fiber_id=fiber_id, codec=codec_name) from exc
+        state = self.deserialize_state(raw, fiber_id=fiber_id,
+                                       codec_name=codec_name)
         self.decoded += 1
         if self.metrics is not None and self.metrics.enabled:
             from ..observe.metrics import DEFAULT_SIZE_BUCKETS
@@ -238,6 +301,29 @@ class FiberCodec:
                 "codec.decode_bytes",
                 buckets=DEFAULT_SIZE_BUCKETS).observe(len(blob))
         return state
+
+    # -- the raw (uncompressed, unframed) layer ---------------------------
+
+    def serialize_state(self, state: Any) -> bytes:
+        """Serialize without compression or framing — the input to the
+        v2 chunking pipeline (compression there is per-chunk)."""
+        return self._pickle(state, ref_code=(self.codec == "custom"))
+
+    def deserialize_state(self, raw: bytes, fiber_id: Optional[str] = None,
+                          fmt: str = "v1",
+                          codec_name: Optional[str] = None) -> Any:
+        """Deserialize raw pickled state, converting every decode
+        failure into a typed :class:`DeserializationError` that names
+        the fiber and format (never a swallowed ``UnpicklingError``)."""
+        try:
+            return self._unpickle(raw)
+        except (pickle.UnpicklingError, EOFError, AttributeError, KeyError,
+                IndexError, MemoryError, TypeError, ValueError, ImportError,
+                OverflowError, struct.error) as exc:
+            raise DeserializationError(
+                f"fiber state failed to deserialize: "
+                f"{type(exc).__name__}: {exc}",
+                fiber_id=fiber_id, fmt=fmt, codec=codec_name) from exc
 
     # -- helpers ----------------------------------------------------------
 
@@ -304,13 +390,16 @@ def parse_crc_frames(data: bytes, magic: bytes,
 
 
 def blob_codec_name(blob: bytes) -> str:
-    """Identify which codec produced ``blob``."""
+    """Identify which codec produced ``blob`` (``"v2-manifest"`` for an
+    incremental-snapshot manifest — its codec byte lives inside)."""
+    if blob[:4] == SNAPSHOT_V2_MAGIC:
+        return "v2-manifest"
     if blob[:4] != MAGIC:
-        raise ValueError("not a Gozer fiber blob")
+        raise SnapshotFormatError("not a Gozer fiber blob")
     for name, byte in FiberCodec.NAMES.items():
         if blob[4:5] == byte:
             return name
-    raise ValueError(f"unknown codec byte {blob[4:5]!r}")
+    raise SnapshotFormatError(f"unknown codec byte {blob[4:5]!r}")
 
 
 def compare_codecs(state: Any, registry: Optional[CodeRegistry] = None,

@@ -57,6 +57,7 @@ from ..observe.metrics import exponential_buckets
 from ..sched.governor import AUTO_SPAWN_LIMIT
 from . import deflink as deflink_module
 from . import distribution, handlers
+from ..persistsnap.manifest import is_manifest
 from .cache import FiberCache
 from .persistence import FiberCodec
 from .task import (
@@ -105,7 +106,8 @@ class WorkflowService(Service):
                  codec: str = "custom",
                  cache: bool = True,
                  cache_capacity: int = 256,
-                 auto_chunk_target: float = 4.0):
+                 auto_chunk_target: float = 4.0,
+                 snapshots: str = "v1"):
         super().__init__(name, doc=f"Vinz workflow {name}")
         self.source = source
         self.vinz = vinz_env
@@ -122,6 +124,17 @@ class WorkflowService(Service):
         # blob-size histograms flow into the cluster's metrics registry
         self.codec.metrics = getattr(
             getattr(vinz_env, "cluster", None), "metrics", None)
+        if snapshots not in ("v1", "v2"):
+            raise ValueError(f"unknown snapshot format {snapshots!r}")
+        self.snapshot_format = snapshots
+        #: the incremental-snapshot pipeline (format v2); None in v1
+        #: mode, where continuations persist as whole compressed blobs
+        self.snapper = None
+        if snapshots == "v2":
+            from ..persistsnap import SnapshotPipeline
+
+            self.snapper = SnapshotPipeline(
+                self.codec, vinz_env.store, metrics=self.codec.metrics)
         self.runtime: Optional[Runtime] = None
         self.task_var_defaults: Dict[str, Any] = {}
         self.task_var_docs: Dict[str, str] = {}
@@ -647,7 +660,7 @@ class WorkflowService(Service):
         vstart = ctx.now + ctx.charged
         blob = self.vinz.store.read(self._thunk_key(fiber.id))
         ctx.charge(self.vinz.store.cost(len(blob)))
-        fn, args = self.codec.loads(blob)
+        fn, args = self.codec.loads(blob, fiber_id=fiber.id)
         if tracer.enabled:
             span = tracer.begin(
                 "persist.decode", kind="persistence", start=vstart,
@@ -868,6 +881,9 @@ class WorkflowService(Service):
     def _persist_continuation(self, ctx: OperationContext,
                               cache: Optional[FiberCache],
                               fiber: FiberRecord, continuation) -> None:
+        if self.snapper is not None:
+            return self._persist_continuation_v2(ctx, cache, fiber,
+                                                 continuation)
         fiber.version += 1
         tracer = ctx.cluster.tracer
         vstart = ctx.now + ctx.charged
@@ -891,6 +907,66 @@ class WorkflowService(Service):
             # the just-written blob) back, and the message is requeued
             injector.on_persist(ctx, fiber)
 
+    def _persist_continuation_v2(self, ctx: OperationContext,
+                                 cache: Optional[FiberCache],
+                                 fiber: FiberRecord, continuation) -> None:
+        """Incremental persist: chunk-dedup against the fiber's prior
+        manifest, write only new chunks plus a small manifest."""
+        fiber.version += 1
+        tracer = ctx.cluster.tracer
+        vstart = ctx.now + ctx.charged
+        injector = getattr(self.vinz, "injector", None)
+        self.snapper.injector = injector
+        key = self._state_key(fiber.id)
+        result = self.snapper.encode(key, continuation, fiber_id=fiber.id)
+        # hooks go in *before* the manifest write: if that write faults,
+        # the window abort must already know how to roll the chunk and
+        # refcount writes back
+        self._register_snapshot_hooks(ctx, result)
+        blob = result.blob
+        if injector is not None:
+            # a torn-manifest fault truncates the blob we are about to
+            # write — the tear is silent here and detected on restore
+            blob = injector.on_manifest_write(key, blob)
+        cost = result.cost + self.vinz.store.write(key, blob)
+        ctx.charge(cost)
+        physical = result.chunk_bytes_written + len(blob)
+        if tracer.enabled:
+            span = tracer.begin(
+                "snap.encode", kind="persistence", start=vstart,
+                parent_id=ctx.span_id or None, fiber=fiber.id,
+                version=fiber.version, raw=result.raw_len, bytes=physical,
+                new_chunks=result.chunks_new, reused=result.chunks_reused)
+            tracer.end(span, end=ctx.now + ctx.charged)
+        self.vinz.counters.incr("persist.writes")
+        self.vinz.counters.add("persist.bytes", physical)
+        if cache is not None:
+            cache.put_continuation(fiber.id, fiber.version, continuation)
+            cache.put_digest(result.manifest.hex_digest, continuation)
+        if injector is not None:
+            injector.on_persist(ctx, fiber)
+
+    def _register_snapshot_hooks(self, ctx: OperationContext,
+                                 result) -> None:
+        """Tie one incremental persist to its window's lifecycle: chunk
+        and refcount writes roll back on abort; the *prior* manifest's
+        stale references are dropped only after the window commits (a
+        retry replaying against the rolled-back manifest must still
+        find every chunk it names).  Undos run newest-first so repeated
+        persists in one window unwind exactly."""
+        undos = getattr(ctx, "_snap_undos", None)
+        if undos is None:
+            undos = []
+            ctx._snap_undos = undos
+
+            def run_undos():
+                for fn in reversed(undos):
+                    fn()
+
+            ctx.on_abort(run_undos)
+        undos.append(result.undo)
+        ctx.on_complete(result.release)
+
     def _load_continuation(self, ctx: OperationContext,
                            cache: Optional[FiberCache], fiber: FiberRecord):
         if cache is not None:
@@ -904,7 +980,14 @@ class WorkflowService(Service):
         vstart = ctx.now + ctx.charged
         blob = self.vinz.store.read(self._state_key(fiber.id))
         ctx.charge(self.vinz.store.cost(len(blob)))
-        continuation = self.codec.loads(blob)
+        if self.snapper is not None and is_manifest(blob):
+            continuation = self._restore_v2(ctx, cache, fiber, blob)
+        else:
+            # v1 blob — written by this service in v1 mode, or by a
+            # pre-upgrade deployment (a v2 service still reads them).
+            # A *manifest* reaching a v1 service trips the downgrade
+            # guard inside loads.
+            continuation = self.codec.loads(blob, fiber_id=fiber.id)
         if tracer.enabled:
             span = tracer.begin(
                 "persist.decode", kind="persistence", start=vstart,
@@ -913,6 +996,32 @@ class WorkflowService(Service):
             tracer.end(span, end=ctx.now + ctx.charged)
         if cache is not None:
             cache.put_continuation(fiber.id, fiber.version, continuation)
+        return continuation
+
+    def _restore_v2(self, ctx: OperationContext,
+                    cache: Optional[FiberCache], fiber: FiberRecord,
+                    blob: bytes):
+        """Restore from a v2 manifest: digest-cache hit first (an
+        unchanged state skips chunk fetch *and* deserialization), else
+        fetch + verify every chunk.  Any corruption surfaces as a typed
+        :class:`~repro.persistsnap.SnapshotError` that aborts the window
+        for a policy-driven retry — never a wrong-value restore."""
+        injector = getattr(self.vinz, "injector", None)
+        self.snapper.injector = injector
+        manifest = self.snapper.read_manifest(blob, fiber_id=fiber.id)
+        if cache is not None:
+            hit = cache.get_digest(manifest.hex_digest, FiberCache.MISS)
+            if hit is not FiberCache.MISS:
+                self.vinz.counters.incr("cache.digest.hit")
+                return hit
+            self.vinz.counters.incr("cache.digest.miss")
+        raw, fetch_cost = self.snapper.fetch_state(manifest,
+                                                   fiber_id=fiber.id)
+        ctx.charge(fetch_cost)
+        continuation = self.codec.deserialize_state(raw, fiber_id=fiber.id,
+                                                    fmt="v2")
+        if cache is not None:
+            cache.put_digest(manifest.hex_digest, continuation)
         return continuation
 
     # -- dead-letter handling -----------------------------------------------
@@ -956,6 +1065,19 @@ class WorkflowService(Service):
         """
         store = self.vinz.store
         for key in keys:
+            if self.snapper is not None:
+                # a v2 state key holds a manifest: drop its chunk
+                # references (GC rides the window's journal batch via
+                # the commit hook; out-of-band contexts release now)
+                blob = store.snapshot_value(key)
+                if blob is not None and is_manifest(blob):
+                    release = (lambda b=blob:
+                               self.snapper.release_blob(b))
+                    on_complete = getattr(ctx, "on_complete", None)
+                    if on_complete is not None:
+                        on_complete(release)
+                    else:
+                        release()
             try:
                 ctx.charge(store.delete(key))
             except StoreError:

@@ -1,0 +1,136 @@
+"""Chaos campaigns against the v2 snapshot plane.
+
+The acceptance bar from the issue: a campaign injecting torn manifests
+and missing chunks runs to quiescence with **zero wrong-value
+restores**.  Fail-stop outcomes (retry, dead-letter, task error) are
+acceptable; a task that *completes with the wrong answer* is the one
+unforgivable outcome, because it means corrupt state was restored and
+executed.
+"""
+
+import pytest
+
+from repro.faults import (
+    CORRUPT_CHUNK,
+    MISSING_CHUNK,
+    TORN_MANIFEST,
+    FaultPlan,
+    SnapshotFault,
+)
+from repro.faults.campaign import run_campaign
+from repro.vinz.task import COMPLETED
+
+
+def snapshot_campaign(plan, seed, **kwargs):
+    kwargs.setdefault("tasks", 4)
+    kwargs.setdefault("nodes", 4)
+    return run_campaign(plan, seed=seed, name="persistsnap-chaos",
+                        snapshots="v2", **kwargs)
+
+
+class TestMissingChunk:
+    def test_retry_recovers_and_no_wrong_values(self):
+        plan = FaultPlan(faults=[
+            SnapshotFault(action=MISSING_CHUNK, nth=1, count=2),
+            SnapshotFault(action=MISSING_CHUNK, nth=7, count=1),
+        ], name="missing-chunks")
+        report = snapshot_campaign(plan, seed=101)
+        assert report.injected.get(MISSING_CHUNK, 0) >= 1
+        assert report.wrong_results() == []
+        # the fault is transient (injected per-occurrence): every task
+        # recovers through the retry policy
+        assert report.all_completed
+
+
+class TestCorruptChunk:
+    def test_flip_detected_never_executed(self):
+        plan = FaultPlan(faults=[
+            SnapshotFault(action=CORRUPT_CHUNK, nth=1, count=3),
+        ], name="corrupt-chunks")
+        report = snapshot_campaign(plan, seed=202)
+        assert report.injected.get(CORRUPT_CHUNK, 0) >= 1
+        assert report.wrong_results() == []
+        assert report.all_completed
+
+
+class TestTornManifest:
+    def test_tear_is_failstop_not_wrong_value(self):
+        """A torn manifest is durable damage: the fiber either makes
+        progress from its node-local cache (and overwrites the tear on
+        the next persist) or exhausts retries and dead-letters.  Both
+        are fail-stop; neither may complete wrong."""
+        plan = FaultPlan(faults=[
+            SnapshotFault(action=TORN_MANIFEST, nth=2, count=2,
+                          keep_fraction=0.5),
+        ], name="torn-manifests")
+        report = snapshot_campaign(plan, seed=303)
+        assert report.injected.get(TORN_MANIFEST, 0) >= 1
+        assert report.wrong_results() == []
+        # quiescence: every task reached a terminal state
+        for task in report.env.registry.tasks.values():
+            assert task.finished
+
+    def test_full_tear_and_near_complete_tear(self):
+        for keep in (0.0, 0.9):
+            plan = FaultPlan(faults=[
+                SnapshotFault(action=TORN_MANIFEST, nth=1, count=1,
+                              keep_fraction=keep),
+            ])
+            report = snapshot_campaign(plan, seed=404)
+            assert report.wrong_results() == []
+            for task in report.env.registry.tasks.values():
+                assert task.finished
+
+
+class TestCombinedCampaign:
+    """The acceptance-criteria campaign: both fault families at once."""
+
+    PLAN = FaultPlan(faults=[
+        SnapshotFault(action=TORN_MANIFEST, nth=3, count=1,
+                      keep_fraction=0.4),
+        SnapshotFault(action=MISSING_CHUNK, nth=2, count=2),
+        SnapshotFault(action=CORRUPT_CHUNK, nth=5, count=1),
+    ], name="snapshot-chaos-combined")
+
+    def test_zero_wrong_value_restores(self):
+        report = snapshot_campaign(self.PLAN, seed=515, tasks=6)
+        assert report.wrong_results() == []
+        for task in report.env.registry.tasks.values():
+            assert task.finished
+        # at least one snapshot fault actually landed
+        landed = sum(report.injected.get(kind, 0) for kind in
+                     (TORN_MANIFEST, MISSING_CHUNK, CORRUPT_CHUNK))
+        assert landed >= 1
+
+    def test_replays_bit_identically(self):
+        first = snapshot_campaign(self.PLAN, seed=515, tasks=6)
+        second = snapshot_campaign(self.PLAN, seed=515, tasks=6)
+        assert first.injected == second.injected
+        assert first.statuses == second.statuses
+        assert {t.id: t.result
+                for t in first.env.registry.tasks.values()} == \
+               {t.id: t.result
+                for t in second.env.registry.tasks.values()}
+
+    def test_different_seed_differs_somewhere(self):
+        a = snapshot_campaign(self.PLAN, seed=515, tasks=6)
+        b = snapshot_campaign(self.PLAN, seed=616, tasks=6)
+        # inputs are seed-derived, so the workloads must differ
+        assert sorted(a.inputs.values()) != sorted(b.inputs.values())
+
+
+class TestPlanSerialization:
+    def test_snapshot_fault_roundtrips_through_dict(self):
+        plan = FaultPlan(faults=[
+            SnapshotFault(action=TORN_MANIFEST, nth=2, keep_fraction=0.25),
+            SnapshotFault(action=MISSING_CHUNK, nth=4, count=3),
+        ], name="roundtrip")
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SnapshotFault(action="melt-chunk")
+        with pytest.raises(ValueError):
+            SnapshotFault(action=TORN_MANIFEST, keep_fraction=1.0)
+        with pytest.raises(ValueError):
+            SnapshotFault(action=MISSING_CHUNK, nth=0)

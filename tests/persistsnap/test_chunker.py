@@ -1,0 +1,106 @@
+"""Content-defined chunking invariants (persistsnap.chunker)."""
+
+import os
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.persistsnap.chunker import (
+    DEFAULT_MAX_SIZE,
+    DEFAULT_MIN_SIZE,
+    _GEAR,
+    chunk_spans,
+)
+
+
+class TestInvariants:
+    @given(st.binary(min_size=0, max_size=20_000))
+    @settings(max_examples=100)
+    def test_lossless(self, data):
+        assert b"".join(chunk_spans(data)) == data
+
+    @given(st.binary(min_size=1, max_size=20_000))
+    @settings(max_examples=100)
+    def test_size_bounds(self, data):
+        chunks = chunk_spans(data)
+        for chunk in chunks[:-1]:
+            assert DEFAULT_MIN_SIZE <= len(chunk) <= DEFAULT_MAX_SIZE
+        assert 0 < len(chunks[-1]) <= DEFAULT_MAX_SIZE
+
+    @given(st.binary(min_size=0, max_size=10_000))
+    @settings(max_examples=50)
+    def test_deterministic(self, data):
+        assert chunk_spans(data) == chunk_spans(data)
+
+    def test_empty(self):
+        assert chunk_spans(b"") == []
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_spans(b"x", min_size=0)
+        with pytest.raises(ValueError):
+            chunk_spans(b"x", min_size=100, max_size=50)
+
+
+class TestGearTable:
+    def test_gear_values_are_distinct(self):
+        """Regression: the table must come from ONE seeded RNG — a
+        constant table gives a position-only hash that never cuts."""
+        assert len(set(_GEAR)) > 250
+
+    def test_gear_is_pinned(self):
+        """The table is format state: changing the seed breaks dedup
+        against previously written snapshots."""
+        expected = random.Random(0x476F7A32)
+        assert _GEAR[0] == expected.getrandbits(64)
+
+
+class TestBoundaryStability:
+    """The reason for content-defined over fixed-size chunking."""
+
+    def _payload(self, seed=7, n=16_000):
+        rng = random.Random(seed)
+        return bytes(rng.randrange(256) for _ in range(n))
+
+    def test_cuts_happen(self):
+        chunks = chunk_spans(self._payload())
+        assert len(chunks) > 20  # ~256B average on random data
+
+    def test_tail_append_keeps_prefix_chunks(self):
+        data = self._payload()
+        grown = data + self._payload(seed=8, n=2_000)
+        before = chunk_spans(data)
+        after = set(map(bytes, chunk_spans(grown)))
+        # everything except the final (boundary-crossing) chunk survives
+        surviving = sum(1 for c in before[:-1] if c in after)
+        assert surviving >= len(before) - 2
+
+    def test_head_insert_keeps_suffix_chunks(self):
+        data = self._payload()
+        shifted = self._payload(seed=9, n=777) + data
+        before = chunk_spans(data)
+        after = set(map(bytes, chunk_spans(shifted)))
+        # fixed-size chunking would lose every chunk to the 777-byte
+        # shift; CDC re-synchronizes after at most a couple of chunks
+        surviving = sum(1 for c in before[2:] if c in after)
+        assert surviving >= len(before) - 6
+
+    def test_middle_edit_is_local(self):
+        data = self._payload()
+        position = len(data) // 2
+        edited = data[:position] + b"EDIT" + data[position + 4:]
+        before = chunk_spans(data)
+        after = set(map(bytes, chunk_spans(edited)))
+        changed = sum(1 for c in before if c not in after)
+        assert changed <= 3  # the edit disturbs its own chunk, not all
+
+
+class TestOsRandomSmoke:
+    def test_incompressible_payload_chunks(self):
+        data = os.urandom(50_000)
+        chunks = chunk_spans(data)
+        assert b"".join(chunks) == data
+        sizes = [len(c) for c in chunks[:-1]]
+        assert all(DEFAULT_MIN_SIZE <= s <= DEFAULT_MAX_SIZE for s in sizes)
