@@ -160,6 +160,13 @@ class Cluster:
             RetryPolicy.platform(redelivery_delay)
         #: optional FaultInjector (repro.faults), wired by install()
         self.injector = None
+        #: the distributed lock manager (repro.bluebox.locks), wired by
+        #: VinzEnvironment.  When it has leases enabled the cluster
+        #: heartbeats long operation windows, validates fencing tokens
+        #: at window completion, and — as the lock manager's
+        #: ``lease_breaker`` — aborts a zombie holder's in-flight
+        #: window before an expiry/steal hands the lock to a new owner
+        self.lock_manager = None
         #: a window-capable store (repro.durastore.DurableStore), wired
         #: by VinzEnvironment when the shared store supports group
         #: commit: each operation window's mutations seal into one
@@ -539,13 +546,81 @@ class Cluster:
             # handler ran: fail_node already rolled back and requeued
             self._kick_node(node)
             return
+        self._schedule_heartbeats(record, duration)
         self.kernel.schedule(
             duration, lambda: self._complete(record, envelope, duration))
+
+    @staticmethod
+    def _window_owner(record: "_InFlight") -> str:
+        """The lock-owner identity this window's handler used
+        (one place: LockManager.owner_node parses it back)."""
+        return f"{record.instance.id}#{record.message.id}"
+
+    def _schedule_heartbeats(self, record: "_InFlight",
+                             duration: float) -> None:
+        """Keep a long window's lock leases alive while its node is.
+
+        The chain self-terminates: each beat reschedules only while the
+        window is still in flight on a live node, so `run_until_idle`
+        always drains.  A crashed node stops beating — which is exactly
+        what lets its leases lapse and recovery begin.
+        """
+        lm = self.lock_manager
+        if lm is None or lm.lease_ttl <= 0 or lm.heartbeat_interval <= 0:
+            return
+        interval = lm.heartbeat_interval
+        if duration <= interval:
+            return  # the window ends (and releases) before a beat is due
+        owner = self._window_owner(record)
+        if not lm.locks_of(owner):
+            return  # this window holds no leases
+        deadline = self.kernel.now + duration
+
+        def beat() -> None:
+            if not record.valid or not record.instance.node.alive:
+                return  # dead window / dead node: the lease must lapse
+            if lm.renew_owner(owner):
+                self.counters.incr("lease.renewed")
+            if self.kernel.now + interval < deadline:
+                self.kernel.schedule(interval, beat)
+
+        self.kernel.schedule(interval, beat)
+
+    def break_window_for(self, key: str, owner: str, reason: str) -> bool:
+        """The lock manager's ``lease_breaker``: a lease on ``key`` held
+        by ``owner`` is being expired or stolen — abort that owner's
+        in-flight window *now*, so its rollback lands before the new
+        owner reads any state.  Returns True when a window was broken.
+        """
+        for record in list(self._in_flight):
+            if record.valid and self._window_owner(record) == owner:
+                self.counters.incr("lease.window-broken")
+                self.trace.record(self.kernel.now, "lease-broken",
+                                  key=key, owner=owner, reason=reason,
+                                  msg=record.message.id)
+                self._abort_window(record,
+                                   f"lease on {key} broken: {reason}")
+                return True
+        return False
 
     def _complete(self, record: _InFlight, envelope: ResponseEnvelope,
                   duration: float) -> None:
         if not record.valid:
             return  # the node died while processing; message was requeued
+        if self.lock_manager is not None and record.context is not None:
+            # fencing: a window whose lock grant was superseded while it
+            # ran (lease expired, lock stolen by a new owner) must not
+            # commit — its effects roll back and the message retries.
+            # Normally the lease breaker already aborted such windows
+            # synchronously at steal time; this is the last line of
+            # defense for expiries that bypassed it.
+            fence = getattr(record.context, "fence", None)
+            if fence is not None \
+                    and not self.lock_manager.fence_valid(*fence):
+                self.lock_manager.fence_rejections += 1
+                self.counters.incr("lease.fence-rejected")
+                self._abort_window(record, "fencing token superseded")
+                return
         if self.durable_store is not None and record.batch is not None:
             # the group commit: one journal append for the whole
             # window.  A torn-commit fault aborts the window — state
@@ -639,6 +714,11 @@ class Cluster:
             self._in_flight.remove(record)
         node = record.instance.node
         node.busy -= 1
+        if self.durable_store is not None and record.batch is not None:
+            # sealed but never committed (fence rejection, lease steal
+            # mid-window): the batch must not reach the journal
+            self.durable_store.discard_batch(record.batch)
+            record.batch = None
         if record.context is not None:
             for hook in record.context.abort_hooks:
                 hook()
@@ -726,6 +806,10 @@ class Cluster:
                     self.durable_store.discard_batch(record.batch)
                     record.batch = None
                 if record.context is not None:
+                    # a *dirty* crash: abort hooks that model work the
+                    # dead JVM could never do (releasing an NFS lock
+                    # file) check this flag and abandon instead
+                    record.context.node_failed = True
                     for hook in record.context.abort_hooks:
                         hook()
                 message = record.message

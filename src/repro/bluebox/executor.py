@@ -23,6 +23,15 @@ from ..gvm.futures import (
 )
 
 
+class ExecutorShutdownError(RuntimeError):
+    """The executor was shut down while this future was still queued.
+
+    Raised at ``touch`` time: a thunk that never ran can never
+    determine its future, and an undetermined future would otherwise
+    block the toucher forever.
+    """
+
+
 class LoadBalancingExecutor(FutureExecutor):
     """A bounded, observable future executor.
 
@@ -78,4 +87,12 @@ class LoadBalancingExecutor(FutureExecutor):
                 self._in_use -= 1
 
     def shutdown(self) -> None:
+        # queued thunks will never run: fail their futures with a typed
+        # error so a later touch raises instead of hanging forever
+        with self._lock:
+            waiting, self._waiting = list(self._waiting), deque()
+        for _thunk, future in waiting:
+            future._fail(ExecutorShutdownError(
+                f"executor shut down with future {future.label!r} "
+                f"still queued"))
         self._pool.shutdown()

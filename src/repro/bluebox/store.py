@@ -50,6 +50,15 @@ class StoreCorruptionError(StoreError):
     tunnels_through_vm = True
 
 
+class FencedWriteError(StoreError):
+    """A fiber-state write was rejected by the fencing check: the
+    writer's lock lease was expired or stolen, so a newer owner may
+    already be running — the zombie's window aborts instead of
+    corrupting state (Netherite-style fencing)."""
+
+    tunnels_through_vm = True
+
+
 class SharedStore:
     """In-memory shared key/value store with an IO cost model.
 

@@ -146,6 +146,53 @@ class CampaignReport:
         """Hashable trace signature for replay-determinism assertions."""
         return self.env.cluster.trace.signature(*kinds)
 
+    # -- recovery invariants (the lease-recovery campaign's verdict) -------
+
+    def stuck_fibers(self) -> List[str]:
+        """Fiber ids that are neither finished nor advanceable: their
+        task is over or their lock is still held by a dead owner's
+        abandoned entry.  Empty list == the no-stranded-fibers
+        invariant holds."""
+        stuck = []
+        locks = self.env.locks
+        cluster = self.env.cluster
+        for fiber_id, fiber in self.env.registry.fibers.items():
+            if fiber.finished:
+                continue
+            task = self.env.registry.tasks.get(fiber.task_id)
+            if task is not None and task.finished:
+                # an unfinished fiber of a finished task is stranded
+                stuck.append(fiber_id)
+                continue
+            holder = locks.holder(f"fiber/{fiber_id}")
+            if holder is None:
+                continue
+            node_id = locks.owner_node(holder)
+            node = cluster.nodes.get(node_id) if node_id else None
+            if node is not None and not node.alive:
+                stuck.append(fiber_id)
+        return stuck
+
+    def single_runner_violations(self) -> List[Tuple[str, ...]]:
+        """Violations of the one-runner-per-fiber guarantee, from the
+        committed-window audit trail: a message that committed twice,
+        or two windows of one fiber overlapping in virtual time.
+        Empty list == no fiber was ever double-run."""
+        violations: List[Tuple[str, ...]] = []
+        seen_messages: Dict[Tuple[str, str], float] = {}
+        by_fiber: Dict[str, List[Tuple[float, float, str]]] = {}
+        for fiber_id, msg_id, start, end in self.env.runner_audit:
+            if (fiber_id, msg_id) in seen_messages:
+                violations.append(("duplicate-commit", fiber_id, msg_id))
+            seen_messages[(fiber_id, msg_id)] = start
+            by_fiber.setdefault(fiber_id, []).append((start, end, msg_id))
+        for fiber_id, windows in by_fiber.items():
+            windows.sort()
+            for (s1, e1, m1), (s2, e2, m2) in zip(windows, windows[1:]):
+                if s2 < e1:
+                    violations.append(("overlap", fiber_id, m1, m2))
+        return violations
+
 
 def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
                  tasks: int = 4, nodes: int = 4,
@@ -156,7 +203,9 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
                  scheduler: Any = None, admission: Any = None,
                  governor: Any = None,
                  items_range: Tuple[int, int] = (2, 5),
-                 snapshots: str = "v1") -> CampaignReport:
+                 snapshots: str = "v1",
+                 locks: str = "coordinator",
+                 lease_ttl: Optional[float] = None) -> CampaignReport:
     """Execute the named ``(seed, plan)`` chaos campaign to quiescence.
 
     ``retry_policy`` defaults to :meth:`RetryPolicy.default` — bounded
@@ -173,14 +222,19 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
     which is what lets a governor campaign observe mid-flight
     adaptation.  ``snapshots="v2"`` deploys with incremental
     continuation snapshots, the target of torn-manifest and
-    missing-chunk campaigns.
+    missing-chunk campaigns.  ``locks`` selects the lock backend
+    (``"file"`` for lease-recovery campaigns: NFS locks have no
+    failure detector, so only leases free a dead holder's lock) and
+    ``lease_ttl`` overrides the platform's lease TTL.
     """
     policy = retry_policy if retry_policy is not None \
         else RetryPolicy.default()
+    lease_kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
     env = VinzEnvironment(nodes=nodes, seed=seed, trace=trace,
                           retry_policy=policy, store=store,
                           scheduler=scheduler, admission=admission,
-                          governor=governor)
+                          governor=governor, locks=locks,
+                          **lease_kwargs)
     env.deploy_service(data_service())
     source = ADAPTIVE_CAMPAIGN_WORKFLOW if adaptive_spawn \
         else CAMPAIGN_WORKFLOW

@@ -62,6 +62,8 @@ class FaultInjector:
         self._seen: Dict[int, int] = {}
         #: cluster-wide fiber persist counter (crash-during-persistence)
         self.persists = 0
+        #: cluster-wide fiber-lock acquisition counter (crash-on-lock)
+        self.lock_acquisitions = 0
         #: how many faults of each action were actually injected
         self.injected: Dict[str, int] = {}
         #: node faults with a concrete node resolved at install time
@@ -96,6 +98,7 @@ class FaultInjector:
                                  at=fault.at,
                                  restart_after=fault.restart_after,
                                  on_persist=fault.on_persist,
+                                 on_lock=fault.on_lock,
                                  factor=fault.factor,
                                  duration=fault.duration)
             self._node_faults.append(resolved)
@@ -329,6 +332,28 @@ class FaultInjector:
                                  span=getattr(ctx, "span_id", 0),
                                  node=node.id, fiber=fiber.id,
                                  persist=self.persists)
+                    self.env.fail_node(node.id)
+                    if fault.restart_after is not None:
+                        self.env.cluster.kernel.schedule(
+                            fault.restart_after,
+                            lambda n=node.id: self.env.restore_node(n))
+
+    def on_lock_acquired(self, ctx, fiber) -> None:
+        """Called by Vinz right after a fiber-lock acquisition (with
+        the window's abort hooks already registered); fires
+        crash-on-lock faults — the node dies the instant it takes the
+        lock, the worst case for lease recovery: nothing was persisted,
+        the lock entry survives, and only the lease can free it."""
+        self.lock_acquisitions += 1
+        for fault in self._node_faults:
+            if fault.action == CRASH and fault.on_lock is not None \
+                    and fault.on_lock == self.lock_acquisitions:
+                node = ctx.node
+                if node.alive:
+                    self._record("crash-on-lock",
+                                 span=getattr(ctx, "span_id", 0),
+                                 node=node.id, fiber=fiber.id,
+                                 acquisition=self.lock_acquisitions)
                     self.env.fail_node(node.id)
                     if fault.restart_after is not None:
                         self.env.cluster.kernel.schedule(

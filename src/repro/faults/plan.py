@@ -103,10 +103,12 @@ class StoreFault:
 class NodeFault:
     """Crash, restart or slow a node.
 
-    * ``crash`` at virtual time ``at`` (or on the ``on_persist``-th
-      fiber-state persist cluster-wide, modelling death *during*
-      persistence); ``restart_after`` revives the node that many
-      seconds later (``None`` = never).
+    * ``crash`` at virtual time ``at``, on the ``on_persist``-th
+      fiber-state persist cluster-wide (death *during* persistence), or
+      on the ``on_lock``-th fiber-lock acquisition cluster-wide (death
+      the instant a node takes a fiber's lock — the worst case for the
+      lease-recovery machinery); ``restart_after`` revives the node
+      that many seconds later (``None`` = never).
     * ``slow`` multiplies every operation duration on the node by
       ``factor`` from ``at`` (default 0) for ``duration`` seconds
       (``None`` = forever).
@@ -120,14 +122,17 @@ class NodeFault:
     at: Optional[float] = None
     restart_after: Optional[float] = 1.0
     on_persist: Optional[int] = None
+    on_lock: Optional[int] = None
     factor: float = 2.0
     duration: Optional[float] = None
 
     def __post_init__(self):
         if self.action not in (CRASH, SLOW):
             raise ValueError(f"unknown node fault action {self.action!r}")
-        if self.action == CRASH and self.at is None and self.on_persist is None:
-            raise ValueError("crash fault needs `at` or `on_persist`")
+        if self.action == CRASH and self.at is None \
+                and self.on_persist is None and self.on_lock is None:
+            raise ValueError("crash fault needs `at`, `on_persist` "
+                             "or `on_lock`")
         if self.action == SLOW and self.factor <= 0:
             raise ValueError("slow factor must be positive")
 

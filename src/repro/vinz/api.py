@@ -63,6 +63,9 @@ class VinzEnvironment:
                  scheduler: Any = None,
                  admission: Any = None,
                  governor: Optional[GovernorConfig] = None,
+                 lease_ttl: float = 2.0,
+                 lease_heartbeat: Optional[float] = None,
+                 recovery_interval: Optional[float] = None,
                  future_executor_factory: Optional[Callable[[], FutureExecutor]] = None):
         #: ``scheduler`` picks the queue's message-ordering policy
         #: (None/"strict" = the paper's priority heap, "fair" = deficit
@@ -106,6 +109,27 @@ class VinzEnvironment:
                 release_visibility_delay=lock_quirk_delay)
         else:
             raise ValueError(f"unknown lock backend {locks!r}")
+        # ------- lease layer + orphan-fiber recovery -----------------
+        #: every lock (either backend) carries a TTL lease charged to
+        #: the virtual clock, renewed by cluster heartbeats while its
+        #: operation window runs; ``lease_ttl=0`` disables lapsing
+        #: (locks are held until released — the pre-lease behaviour)
+        self.locks.configure_leases(
+            ttl=lease_ttl,
+            clock_now=lambda: self.cluster.kernel.now,
+            heartbeat_interval=lease_heartbeat)
+        #: the cluster fences commits and heartbeats in-flight windows
+        self.cluster.lock_manager = self.locks
+        #: every lease expiry/steal aborts the zombie's window *before*
+        #: the lock changes hands (the single ordering invariant that
+        #: makes steals safe)
+        self.locks.lease_breaker = self.cluster.break_window_for
+        from .recovery import RecoveryScanner
+        #: detects lapsed leases / dead owners and re-awakens orphans
+        self.recovery = RecoveryScanner(self, interval=recovery_interval)
+        #: committed advancement windows ``(fiber_id, message_id,
+        #: start, end)`` — the raw material of the single-runner audit
+        self.runner_audit: List[tuple] = []
         self.registry = ProcessRegistry()
         self.counters = Counters()
         if placement not in ("balanced", "affinity"):
@@ -327,14 +351,19 @@ class VinzEnvironment:
             workflow.on_message_dead_lettered(message)
 
     def fail_node(self, node_id: str) -> int:
-        """Kill a node; expire its lock session (coordinator semantics)."""
+        """Kill a node and reclaim its locks.
+
+        Each backend decides what node death means for its locks via
+        the public :meth:`LockManager.expire_node` API: the coordinator
+        expires the node's sessions immediately (its failure detector —
+        the whole point of replacing NFS locks), while file locks are
+        left in place — NFS "is completely opaque", so a dead holder's
+        lock file survives until its lease lapses and the recovery
+        scanner reclaims it.
+        """
         requeued = self.cluster.fail_node(node_id)
-        if isinstance(self.locks, CoordinatorLockManager):
-            # sessions are per-owner strings that embed the instance id;
-            # expire all sessions belonging to this node
-            for owner in list(self.locks._sessions):
-                if f"@{node_id}#" in owner:
-                    self.locks.expire_session(owner)
+        self.locks.expire_node(node_id)
+        self.recovery.on_node_failed(node_id)
         return requeued
 
     def restore_node(self, node_id: str) -> None:
@@ -449,6 +478,8 @@ class VinzEnvironment:
             },
             "cache": self.cache_hit_rates(),
             "snapshots": self.snapshot_stats(),
+            "recovery": {**self.recovery.summary(),
+                         "leases": self.locks.lease_stats()},
             "utilization": self.cluster.utilization(),
             "peak_task_concurrency": self.task_concurrency.peak,
             "peak_fiber_concurrency": self.fiber_concurrency.peak,

@@ -33,7 +33,7 @@ from __future__ import annotations
 import pickle
 from typing import Any, Dict, List, Optional
 
-from ..bluebox.store import StoreError
+from ..bluebox.store import FencedWriteError, StoreError
 from ..bluebox.messagequeue import (
     PRIORITY_LOW,
     PRIORITY_NORMAL,
@@ -462,19 +462,52 @@ class WorkflowService(Service):
         # processing window (released by a completion hook), which is
         # what produces the Section 5 AwakeFiber contention: siblings
         # delivered during the window find the lock held.
+        locks = self.vinz.locks
         owner = f"{ctx.instance.id}#{ctx.message.id}"
         lock_key = f"fiber/{fiber.id}"
-        if not self.vinz.locks.try_acquire(lock_key, owner):
+        if not locks.try_acquire(lock_key, owner):
             # hold the slot for the patience window, then give up and
             # requeue (the Section 5 burstiness behaviour)
             ctx.charge(patience)
             self.vinz.counters.incr("awake.lock-wait")
             return Requeue(delay=self.requeue_delay)
-        release = lambda: self.vinz.locks.release(lock_key, owner)  # noqa: E731
-        ctx.on_complete(release)
-        ctx.on_abort(release)  # node death must not leave the fiber stuck
+        #: the message that advances a fiber is its recovery handle: if
+        #: this window's node dies holding the lock, the scanner
+        #: re-enqueues exactly this Message (same id), so the
+        #: processed_deliveries guard makes the re-awaken idempotent
+        fiber.last_message = ctx.message
+
+        def release_or_abandon() -> None:
+            if getattr(ctx, "node_failed", False):
+                # a dead JVM cannot unlink its NFS lock file: the entry
+                # (and its lease) survive the crash — recovery is the
+                # lease scanner's job, not a perfect-failure-detector
+                # cheat
+                locks.abandon(lock_key, owner)
+            else:
+                locks.release(lock_key, owner)
+
+        ctx.on_complete(lambda: locks.release(lock_key, owner))
+        ctx.on_abort(release_or_abandon)
+        # fencing: this window's writes carry the grant's token; a
+        # zombie whose lease was stolen mid-window fails fence_valid
+        # and aborts instead of clobbering the new owner's state
+        ctx.fence = (lock_key, owner, locks.fencing_token(lock_key))
         fiber.processed_deliveries.add(msg_id)
         ctx.on_abort(lambda: fiber.processed_deliveries.discard(msg_id))
+        # single-runner audit trail: every *committed* advancement
+        # window, with its virtual-time extent — campaigns assert that
+        # no fiber's windows ever overlap and no message commits twice
+        window_start = ctx.now
+        ctx.on_complete(lambda: self.vinz.runner_audit.append(
+            (fiber.id, msg_id, window_start, ctx.now)))
+        injector = getattr(self.vinz, "injector", None)
+        if injector is not None:
+            # crash-on-lock faults fire here: the node dies the instant
+            # it takes the fiber lock, before any state is touched
+            injector.on_lock_acquired(ctx, fiber)
+            if getattr(ctx, "node_failed", False):
+                return None  # died taking the lock; window already aborted
         return self._advance_locked(ctx, task, fiber, resume, value)
 
     # -- the core: load state, run the GVM, act on the outcome ------------
@@ -878,12 +911,29 @@ class WorkflowService(Service):
         if cache is not None:
             cache.put_task_env(task.id, env)
 
+    def _check_fence(self, ctx: OperationContext) -> None:
+        """Fencing check guarding every fiber-state write: if this
+        window's lock lease was expired or stolen, a newer owner may
+        already be running — the write must not land.  Raising tunnels
+        through the GVM, aborts the window (rolling back everything it
+        already wrote) and lets the message retry."""
+        fence = getattr(ctx, "fence", None)
+        if fence is None:
+            return
+        if not self.vinz.locks.fence_valid(*fence):
+            self.vinz.locks.fence_rejections += 1
+            self.vinz.counters.incr("persist.fence-rejected")
+            key, owner, token = fence
+            raise FencedWriteError(
+                f"stale fencing token {token} for {key} (owner {owner})")
+
     def _persist_continuation(self, ctx: OperationContext,
                               cache: Optional[FiberCache],
                               fiber: FiberRecord, continuation) -> None:
         if self.snapper is not None:
             return self._persist_continuation_v2(ctx, cache, fiber,
                                                  continuation)
+        self._check_fence(ctx)
         fiber.version += 1
         tracer = ctx.cluster.tracer
         vstart = ctx.now + ctx.charged
@@ -912,6 +962,7 @@ class WorkflowService(Service):
                                  fiber: FiberRecord, continuation) -> None:
         """Incremental persist: chunk-dedup against the fiber's prior
         manifest, write only new chunks plus a small manifest."""
+        self._check_fence(ctx)
         fiber.version += 1
         tracer = ctx.cluster.tracer
         vstart = ctx.now + ctx.charged

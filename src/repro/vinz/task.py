@@ -115,6 +115,11 @@ class FiberRecord:
     #: causal-tracing span covering this fiber's lifetime; 0 when
     #: tracing is disabled
     span_id: int = 0
+    #: the queue message that last advanced (or is advancing) this
+    #: fiber — the recovery scanner's re-awaken handle: re-enqueueing
+    #: it (same message id) is idempotent under the
+    #: ``processed_deliveries`` guard
+    last_message: Optional[Any] = None
 
     @property
     def finished(self) -> bool:

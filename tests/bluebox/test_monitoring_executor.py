@@ -3,7 +3,7 @@
 import threading
 import time
 
-from repro.bluebox.executor import LoadBalancingExecutor
+from repro.bluebox.executor import ExecutorShutdownError, LoadBalancingExecutor
 from repro.bluebox.monitoring import ConcurrencySampler, Counters, TraceLog
 
 
@@ -142,3 +142,29 @@ class TestLoadBalancingExecutor:
             assert [f.touch(timeout=5) for f in fs] == [0, 1, 2, 3, 4]
         finally:
             executor.shutdown()
+
+    def test_shutdown_fails_queued_futures(self):
+        """Shutdown with thunks still queued must fail their futures
+        with a typed error, not drop them — a later touch would
+        otherwise hang forever on a future nobody will determine."""
+        import pytest
+
+        executor = LoadBalancingExecutor(capacity=1)
+        release = threading.Event()
+        blocker = executor.submit(lambda: release.wait(timeout=5))
+        queued = [executor.submit(lambda i=i: i, label=f"queued-{i}")
+                  for i in range(3)]
+        # shut down from a helper thread: the pool join blocks on the
+        # in-flight blocker, but the queued futures must already be
+        # failed by then
+        stopper = threading.Thread(target=executor.shutdown)
+        stopper.start()
+        try:
+            for i, future in enumerate(queued):
+                with pytest.raises(ExecutorShutdownError) as err:
+                    future.touch(timeout=5)
+                assert f"queued-{i}" in str(err.value)
+        finally:
+            release.set()
+            stopper.join(timeout=5)
+        assert blocker.touch(timeout=5) is True
