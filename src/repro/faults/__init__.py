@@ -14,15 +14,18 @@ The chaos-campaign harness lives in :mod:`repro.faults.campaign`
 from .retry import RetryPolicy
 from .plan import (
     CORRUPT_CHUNK,
+    CORRUPT_FRAME,
     CORRUPT_READ,
     CRASH,
     DELAY,
     DROP,
+    DROPPED_BATCH,
     DUPLICATE,
     FAIL_READ,
     FAIL_WRITE,
     Fault,
     FaultPlan,
+    HistoryFault,
     JournalFault,
     MISSING_CHUNK,
     MessageFault,
@@ -34,17 +37,19 @@ from .plan import (
     StoreFault,
     TORN_COMMIT,
     TORN_MANIFEST,
+    TORN_TAIL,
 )
 from .injector import FaultInjector
 
 __all__ = [
     "RetryPolicy",
     "FaultPlan", "Fault", "MessageFault", "StoreFault", "NodeFault",
-    "ShardFault", "JournalFault", "SnapshotFault",
+    "ShardFault", "JournalFault", "SnapshotFault", "HistoryFault",
     "FaultInjector",
     "DROP", "DUPLICATE", "DELAY",
     "FAIL_WRITE", "FAIL_READ", "CORRUPT_READ",
     "CRASH", "SLOW",
     "SHARD_OUTAGE", "TORN_COMMIT",
     "TORN_MANIFEST", "MISSING_CHUNK", "CORRUPT_CHUNK",
+    "TORN_TAIL", "DROPPED_BATCH", "CORRUPT_FRAME",
 ]

@@ -173,6 +173,22 @@ class CampaignReport:
                 stuck.append(fiber_id)
         return stuck
 
+    def replay_all(self) -> List[Any]:
+        """Replay every finished task from its recorded history
+        (requires the campaign to have run with ``history="on"``);
+        returns the per-task :class:`~repro.history.ReplayReport` list.
+        Raises :class:`~repro.history.ReplayDivergenceError` on the
+        first task whose re-execution disagrees with its log."""
+        if self.env.replayer is None:
+            raise RuntimeError(
+                'replay_all requires run_campaign(history="on")')
+        reports = []
+        for task_id, task in self.env.registry.tasks.items():
+            if not task.finished:
+                continue
+            reports.append(self.env.replay_task(task_id))
+        return reports
+
     def single_runner_violations(self) -> List[Tuple[str, ...]]:
         """Violations of the one-runner-per-fiber guarantee, from the
         committed-window audit trail: a message that committed twice,
@@ -205,7 +221,10 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
                  items_range: Tuple[int, int] = (2, 5),
                  snapshots: str = "v1",
                  locks: str = "coordinator",
-                 lease_ttl: Optional[float] = None) -> CampaignReport:
+                 lease_ttl: Optional[float] = None,
+                 history: str = "off",
+                 snapshot_interval: int = 1,
+                 recovery: str = "snapshot") -> CampaignReport:
     """Execute the named ``(seed, plan)`` chaos campaign to quiescence.
 
     ``retry_policy`` defaults to :meth:`RetryPolicy.default` — bounded
@@ -226,6 +245,13 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
     (``"file"`` for lease-recovery campaigns: NFS locks have no
     failure detector, so only leases free a dead holder's lock) and
     ``lease_ttl`` overrides the platform's lease TTL.
+    ``history="on"`` records every task's event-sourced history
+    (enabling :meth:`CampaignReport.replay_all` and the
+    :class:`~repro.faults.plan.HistoryFault` kinds);
+    ``snapshot_interval`` persists continuations every N suspensions
+    and ``recovery="replay"`` rebuilds crashed fibers from the history
+    log instead of reading continuation snapshots (see
+    docs/history_replay.md).
     """
     policy = retry_policy if retry_policy is not None \
         else RetryPolicy.default()
@@ -234,6 +260,9 @@ def run_campaign(plan: FaultPlan, seed: int, name: str = "campaign",
                           retry_policy=policy, store=store,
                           scheduler=scheduler, admission=admission,
                           governor=governor, locks=locks,
+                          history=history,
+                          snapshot_interval=snapshot_interval,
+                          recovery=recovery,
                           **lease_kwargs)
     env.deploy_service(data_service())
     source = ADAPTIVE_CAMPAIGN_WORKFLOW if adaptive_spawn \

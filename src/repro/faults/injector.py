@@ -28,14 +28,17 @@ from typing import Any, Dict, List, Optional, Tuple
 from ..bluebox.store import StoreCorruptionError, StoreReadError, StoreWriteError
 from .plan import (
     CORRUPT_CHUNK,
+    CORRUPT_FRAME,
     CORRUPT_READ,
     CRASH,
     DELAY,
     DROP,
+    DROPPED_BATCH,
     DUPLICATE,
     FAIL_READ,
     FAIL_WRITE,
     FaultPlan,
+    HistoryFault,
     JournalFault,
     MISSING_CHUNK,
     MessageFault,
@@ -47,6 +50,7 @@ from .plan import (
     StoreFault,
     TORN_COMMIT,
     TORN_MANIFEST,
+    TORN_TAIL,
 )
 
 
@@ -84,6 +88,9 @@ class FaultInjector:
         env.injector = self
         env.cluster.injector = self
         env.store.injector = self
+        history_log = getattr(env, "history_log", None)
+        if history_log is not None:
+            history_log.injector = self
         # resolve unnamed shard-outage targets against the store's ring
         shard_names = sorted(getattr(env.store, "backends", {}))
         if shard_names:
@@ -288,6 +295,39 @@ class FaultInjector:
                     flipped[position] ^= 1 << self.rng.randrange(8)
                 return bytes(flipped)
         return payload
+
+    # ------------------------------------------------------------------
+    # history-log hooks (HistoryLog.append_batch)
+    # ------------------------------------------------------------------
+
+    def on_history_write(self, key: str, blob: bytes) -> Optional[bytes]:
+        """History-fault hooks on the batch-append path: return what
+        actually reaches storage — ``None`` (the batch is lost
+        entirely), a truncated frame (the writer died mid-``write``),
+        or the frame with one bit flipped (the CRC check must catch
+        it).  All silent: the writer believes the append succeeded; the
+        damage surfaces on the next replay as a typed history error."""
+        for index, fault in enumerate(self.plan.faults):
+            if not isinstance(fault, HistoryFault):
+                continue
+            if self._triggered(index, fault.nth, fault.count):
+                if fault.action == DROPPED_BATCH:
+                    self._record(DROPPED_BATCH, key=key,
+                                 blob_len=len(blob))
+                    return None
+                if fault.action == TORN_TAIL:
+                    keep = int(len(blob) * fault.keep_fraction)
+                    self._record(TORN_TAIL, key=key, blob_len=len(blob),
+                                 kept=keep)
+                    return blob[:keep]
+                flipped = bytearray(blob)
+                position = self.rng.randrange(len(flipped)) if flipped else 0
+                if flipped:
+                    flipped[position] ^= 1 << self.rng.randrange(8)
+                self._record(CORRUPT_FRAME, key=key, blob_len=len(blob),
+                             position=position)
+                return bytes(flipped)
+        return blob
 
     # ------------------------------------------------------------------
     # node hooks

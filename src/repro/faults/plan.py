@@ -33,6 +33,10 @@ TORN_COMMIT = "torn-commit"
 TORN_MANIFEST = "torn-manifest"
 MISSING_CHUNK = "missing-chunk"
 CORRUPT_CHUNK = "corrupt-chunk"
+# history-log fault actions
+TORN_TAIL = "torn-tail"
+DROPPED_BATCH = "dropped-batch"
+CORRUPT_FRAME = "corrupt-frame"
 
 
 @dataclass(frozen=True)
@@ -232,8 +236,43 @@ class SnapshotFault:
             raise ValueError("keep_fraction must be in [0, 1)")
 
 
+@dataclass(frozen=True)
+class HistoryFault:
+    """Damage the event-sourced history-log plane.
+
+    * ``torn-tail`` — the Nth history-batch write cluster-wide is
+      silently truncated to ``keep_fraction`` of its bytes (the writer
+      died inside ``write(2)``); the tear must surface on the next
+      replay as a :class:`~repro.history.TornHistoryError`.
+    * ``dropped-batch`` — the Nth batch write is lost entirely (buffer
+      never reached storage); replay must detect the hole as a
+      :class:`~repro.history.DroppedBatchError`.
+    * ``corrupt-frame`` — the Nth batch write lands with a bit flipped
+      (position drawn from the injector's seeded RNG); the CRC frame
+      check must catch it.
+
+    Fires on history-batch writes number ``nth`` through
+    ``nth + count - 1`` (1-based, counted per fault).  All three must
+    fail closed — replay raises a typed error, never silently trusts a
+    damaged history.
+    """
+
+    action: str
+    nth: int = 1
+    count: int = 1
+    keep_fraction: float = 0.5
+
+    def __post_init__(self):
+        if self.action not in (TORN_TAIL, DROPPED_BATCH, CORRUPT_FRAME):
+            raise ValueError(f"unknown history fault action {self.action!r}")
+        if self.nth < 1 or self.count < 1:
+            raise ValueError("nth and count are 1-based and positive")
+        if not 0.0 <= self.keep_fraction < 1.0:
+            raise ValueError("keep_fraction must be in [0, 1)")
+
+
 Fault = Union[MessageFault, StoreFault, NodeFault, ShardFault, JournalFault,
-              SnapshotFault]
+              SnapshotFault, HistoryFault]
 
 
 @dataclass(frozen=True)
@@ -281,6 +320,9 @@ class FaultPlan:
     def snapshot_faults(self) -> List[SnapshotFault]:
         return [f for f in self.faults if isinstance(f, SnapshotFault)]
 
+    def history_faults(self) -> List[HistoryFault]:
+        return [f for f in self.faults if isinstance(f, HistoryFault)]
+
     def to_dict(self) -> Dict[str, Any]:
         return {
             "name": self.name,
@@ -293,7 +335,8 @@ class FaultPlan:
         kinds = {"MessageFault": MessageFault, "StoreFault": StoreFault,
                  "NodeFault": NodeFault, "ShardFault": ShardFault,
                  "JournalFault": JournalFault,
-                 "SnapshotFault": SnapshotFault}
+                 "SnapshotFault": SnapshotFault,
+                 "HistoryFault": HistoryFault}
         faults = []
         for entry in data.get("faults", []):
             entry = dict(entry)

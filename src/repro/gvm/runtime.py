@@ -9,6 +9,7 @@ the future executor.  Fibers executing the program each get their own
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, List, Optional
 
 from ..lang.compiler import Compiler
@@ -29,14 +30,60 @@ from .vm import VM, Done, Yielded
 _S = Symbol
 
 
+class RuntimeClock:
+    """The wall clock: ``(get-universal-time)`` reads the host time and
+    ``(sleep n)`` really blocks — the standalone-interpreter default."""
+
+    def now(self) -> float:
+        return time.time()
+
+    def sleep(self, seconds: float) -> None:
+        time.sleep(max(0.0, float(seconds)))
+
+
+class VirtualClock:
+    """A simulated clock: time only moves when told to.
+
+    ``now_fn`` ties the clock to an external time source (Vinz points
+    it at the discrete-event kernel); ``sleep`` advances a local offset
+    instead of blocking, so ``(sleep 3600)`` outside a fiber costs
+    nothing real and stays deterministic.  ``slept`` accumulates the
+    total seconds slept — what the regression tests assert on.
+    """
+
+    def __init__(self, start: float = 0.0,
+                 now_fn: Optional[Callable[[], float]] = None):
+        self.start = start
+        self.now_fn = now_fn
+        self.offset = 0.0
+        self.slept = 0.0
+
+    def now(self) -> float:
+        base = self.now_fn() if self.now_fn is not None else self.start
+        return base + self.offset
+
+    def sleep(self, seconds: float) -> None:
+        seconds = max(0.0, float(seconds))
+        self.offset += seconds
+        self.slept += seconds
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without counting it as a sleep."""
+        self.offset += max(0.0, float(seconds))
+
+
 class Runtime:
     """One loaded Gozer program and the machinery to run it."""
 
     def __init__(self, executor: Optional[FutureExecutor] = None,
-                 readtable: Optional[ReadTable] = None):
+                 readtable: Optional[ReadTable] = None,
+                 clock=None):
         self.global_env = GlobalEnvironment()
         self.readtable = readtable.copy() if readtable else ReadTable()
         self.executor = executor if executor is not None else ThreadPoolFutureExecutor()
+        #: the time source ``(get-universal-time)``/``(sleep n)`` use;
+        #: real time by default, virtual under Vinz and in clock tests
+        self.clock = clock if clock is not None else RuntimeClock()
         self.compiler = Compiler(self.global_env, apply_fn=self.apply)
         from ..lang import stdlib
 
@@ -63,9 +110,11 @@ class Runtime:
     # ------------------------------------------------------------------
 
     def new_vm(self, allow_yield: bool = False) -> VM:
-        return VM(self.global_env,
-                  future_submitter=self._submit_future,
-                  allow_yield=allow_yield)
+        vm = VM(self.global_env,
+                future_submitter=self._submit_future,
+                allow_yield=allow_yield)
+        vm.clock = self.clock
+        return vm
 
     def eval_string(self, text: str) -> Any:
         """Evaluate every form in ``text``; return the last value."""

@@ -16,7 +16,9 @@ Two kinds of builtins:
 
 from __future__ import annotations
 
+import logging
 import math
+import random as _host_random
 import sys
 import time
 from typing import Any, Callable, Dict, List, Optional
@@ -871,8 +873,14 @@ def _make_keyword(name):
     return Keyword(_stringify(name))
 
 
-@builtin("gensym")
-def _gensym(prefix="g"):
+@vm_builtin("gensym")
+def _gensym(vm, prefix="g"):
+    execution = getattr(vm, "vinz", None)
+    if execution is not None:
+        # the gensym counter's state at replay time differs from what
+        # the live run saw: record the drawn symbol as nondeterminism
+        return execution.nondet(
+            "gensym", lambda: gensym(_stringify(prefix)))
     return gensym(_stringify(prefix))
 
 
@@ -1030,25 +1038,58 @@ def _terpri():
 @builtin("log")
 def _log(*args):
     """Lightweight logging (Listing 2's ``(log "...")``)."""
-    import logging
-
     logging.getLogger("gozer").info(" ".join(princ_form(a) for a in args))
     return None
 
 
 # ===========================================================================
-# time
+# time and randomness
 # ===========================================================================
 
-@builtin("get-universal-time")
-def _get_universal_time():
-    return time.time()
+#: host-side fallback RNG for ``(random n)`` outside any platform —
+#: inside a fiber the draw comes from the cluster's seeded RNG and is
+#: recorded as history nondeterminism
+_FALLBACK_RNG = _host_random.Random()
 
 
-@builtin("sleep")
-def _sleep(seconds):
-    time.sleep(seconds)
+@vm_builtin("get-universal-time")
+def _get_universal_time(vm):
+    execution = getattr(vm, "vinz", None)
+    if execution is not None:
+        # a clock read is nondeterminism the fiber observes: draw it
+        # from the platform's virtual clock and record it for replay
+        return execution.nondet("clock", execution.clock_now)
+    clock = getattr(vm, "clock", None)
+    if clock is not None:
+        return clock.now()
+    return time.time()  # bare VM with no runtime clock
+
+
+@vm_builtin("sleep", "%clock-sleep")
+def _sleep(vm, seconds):
+    # Inside a fiber this builtin is shadowed by the Vinz prelude's
+    # (defun sleep ...), which yields to the platform timer; here the
+    # runtime clock decides — a VirtualClock makes (sleep 3600) free
+    # and deterministic instead of blocking the host for an hour.
+    clock = getattr(vm, "clock", None)
+    if clock is not None:
+        clock.sleep(seconds)
+        return None
+    time.sleep(seconds)  # bare VM with no runtime clock
     return None
+
+
+@vm_builtin("random")
+def _random(vm, n):
+    """(random n): int in [0, n) for an integer bound, uniform float
+    in [0, n) otherwise — Common Lisp semantics."""
+    execution = getattr(vm, "vinz", None)
+    if execution is not None:
+        return execution.nondet("random",
+                                lambda: execution.random_draw(n))
+    if isinstance(n, int) and not isinstance(n, bool):
+        return _FALLBACK_RNG.randrange(n) if n > 0 else 0
+    return _FALLBACK_RNG.uniform(0.0, float(n))
 
 
 # ===========================================================================
@@ -1071,7 +1112,12 @@ def _error(vm, condition, *args):
 def _warn(vm, condition, *args):
     cond = _build_condition(condition, args, default_type="warning")
     vm.signal(cond, error_p=False)
-    sys.stderr.write(f"WARNING: {cond.message}\n")
+    logger = logging.getLogger("gozer")
+    logger.warning("%s", cond.message)
+    if not logger.hasHandlers():
+        # nothing is listening (no logging configured): keep the
+        # historical stderr echo so warnings stay visible
+        sys.stderr.write(f"WARNING: {cond.message}\n")
     return None
 
 

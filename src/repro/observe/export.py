@@ -122,4 +122,6 @@ def json_report(env) -> Dict[str, Any]:
         "cache_hit_rates": env.cache_hit_rates(),
         "counters": env.counters.snapshot(),
         "store": env.store.stats_snapshot(),
+        "history": (env.history.summary()
+                    if getattr(env, "history", None) is not None else None),
     }

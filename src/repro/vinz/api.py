@@ -66,6 +66,9 @@ class VinzEnvironment:
                  lease_ttl: float = 2.0,
                  lease_heartbeat: Optional[float] = None,
                  recovery_interval: Optional[float] = None,
+                 history: str = "off",
+                 snapshot_interval: int = 1,
+                 recovery: str = "snapshot",
                  future_executor_factory: Optional[Callable[[], FutureExecutor]] = None):
         #: ``scheduler`` picks the queue's message-ordering policy
         #: (None/"strict" = the paper's priority heap, "fair" = deficit
@@ -132,6 +135,30 @@ class VinzEnvironment:
         self.runner_audit: List[tuple] = []
         self.registry = ProcessRegistry()
         self.counters = Counters()
+        # ------- event-sourced task history (docs/history_replay.md) --
+        if history not in ("off", "on"):
+            raise ValueError(f"unknown history mode {history!r}")
+        if recovery not in ("snapshot", "replay"):
+            raise ValueError(f"unknown recovery mode {recovery!r}")
+        if recovery == "replay" and history != "on":
+            raise ValueError('recovery="replay" requires history="on"')
+        if snapshot_interval < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        #: "snapshot" = rebuild crashed fibers from persisted
+        #: continuations; "replay" = re-execute from the history log
+        self.recovery_mode = recovery
+        #: persist a continuation snapshot every N suspensions
+        #: (default applied per deployment; 1 = the paper's every-step)
+        self.default_snapshot_interval = int(snapshot_interval)
+        self.history = None
+        self.history_log = None
+        self.replayer = None
+        if history == "on":
+            from ..history import HistoryLog, HistoryRecorder, ReplayEngine
+            self.history_log = HistoryLog(self.store,
+                                          metrics=self.cluster.metrics)
+            self.history = HistoryRecorder(self, self.history_log)
+            self.replayer = ReplayEngine(self)
         if placement not in ("balanced", "affinity"):
             raise ValueError(f"unknown placement policy {placement!r}")
         #: "balanced" = the paper's production behaviour (the queue
@@ -191,6 +218,7 @@ class VinzEnvironment:
         ``node_ids`` restricts deployment to specific nodes (default:
         every node, the paper's usual arrangement).
         """
+        config.setdefault("snapshot_interval", self.default_snapshot_interval)
         service = WorkflowService(name, source, self, **config)
         self.cluster.deploy(service, node_ids=node_ids)
         self.workflows[name] = service
@@ -258,6 +286,16 @@ class VinzEnvironment:
                                f"(status {task.status})")
         self._drain_in_flight()
         return task
+
+    def replay_task(self, task_id: str, source: str = "log"):
+        """Deterministically re-execute a finished task from its
+        recorded history and verify every recorded event matches —
+        raises :class:`~repro.history.ReplayDivergenceError` on the
+        first mismatch.  Requires ``history="on"``."""
+        if self.replayer is None:
+            raise RuntimeError(
+                'replay_task requires VinzEnvironment(history="on")')
+        return self.replayer.replay_task(task_id, source=source)
 
     def result_of(self, task_id: str) -> Any:
         task = self.registry.tasks[task_id]
@@ -478,7 +516,10 @@ class VinzEnvironment:
             },
             "cache": self.cache_hit_rates(),
             "snapshots": self.snapshot_stats(),
-            "recovery": {**self.recovery.summary(),
+            "history": (self.history.summary()
+                        if self.history is not None else None),
+            "recovery": {"mode": self.recovery_mode,
+                         **self.recovery.summary(),
                          "leases": self.locks.lease_stats()},
             "utilization": self.cluster.utilization(),
             "peak_task_concurrency": self.task_concurrency.peak,

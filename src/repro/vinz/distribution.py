@@ -531,6 +531,14 @@ the governed limit, so fan-out width follows live cluster load.
 Returns the currently governed limit."
   (%vinz-auto-spawn-limit))
 
+(defun sleep (seconds)
+  "Sleeping inside a fiber suspends it on the platform timer (zero
+resources, recorded as a TimerFired in the task history); outside a
+fiber the runtime clock advances instead — never the host clock."
+  (if (%is-fiber-thread)
+      (yield (%vinz-sleep seconds))
+      (%clock-sleep seconds)))
+
 (defun workflow-sleep (seconds)
   "Suspend this fiber for SECONDS of (simulated) time, consuming no
 resources while suspended (the paper's zero-resource waiting)."

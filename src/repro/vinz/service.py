@@ -49,8 +49,9 @@ from ..bluebox.services import (
 from ..gvm.conditions import GozerCondition, UnhandledConditionError
 from ..gvm.frames import GozerFunction
 from ..gvm.futures import enter_fiber_thread
-from ..gvm.runtime import Runtime
+from ..gvm.runtime import Runtime, VirtualClock
 from ..gvm.vm import Done, Yielded
+from ..history import recorder as hist
 from ..lang.errors import GozerRuntimeError
 from ..lang.symbols import Symbol, gensym_scope
 from ..observe.metrics import exponential_buckets
@@ -107,7 +108,8 @@ class WorkflowService(Service):
                  cache: bool = True,
                  cache_capacity: int = 256,
                  auto_chunk_target: float = 4.0,
-                 snapshots: str = "v1"):
+                 snapshots: str = "v1",
+                 snapshot_interval: int = 1):
         super().__init__(name, doc=f"Vinz workflow {name}")
         self.source = source
         self.vinz = vinz_env
@@ -127,6 +129,12 @@ class WorkflowService(Service):
         if snapshots not in ("v1", "v2"):
             raise ValueError(f"unknown snapshot format {snapshots!r}")
         self.snapshot_format = snapshots
+        if int(snapshot_interval) < 1:
+            raise ValueError("snapshot_interval must be >= 1")
+        #: persist the continuation only every Nth suspension; the
+        #: versions in between are rebuilt by history replay (requires
+        #: ``history="on"`` on the environment to take effect)
+        self.snapshot_interval = int(snapshot_interval)
         #: the incremental-snapshot pipeline (format v2); None in v1
         #: mode, where continuations persist as whole compressed blobs
         self.snapper = None
@@ -154,7 +162,13 @@ class WorkflowService(Service):
             return  # already loaded (idempotent deploys)
         from ..gvm.futures import SynchronousFutureExecutor
 
-        self.runtime = Runtime(executor=self.vinz.future_executor_factory())
+        # the runtime clock is the cluster's virtual clock: a stdlib
+        # (sleep n) outside a fiber advances simulated time, never the
+        # host's, and (get-universal-time) reads virtual time
+        self.runtime = Runtime(
+            executor=self.vinz.future_executor_factory(),
+            clock=VirtualClock(
+                now_fn=lambda: self.vinz.cluster.kernel.now))
         # a scoped gensym counter makes compilation deterministic: the
         # same source always expands to the same gensym names, so
         # serialized fiber state is byte-identical across runs — the
@@ -294,6 +308,13 @@ class WorkflowService(Service):
         ctx.trace("task-start", task=task.id, fiber=fiber.id)
         self.vinz.monitor_task_started(task, ctx.now)
         monitored[0] = True
+        recorder = self.vinz.history
+        if recorder is not None:
+            # window-buffered: an aborted Start discards this with the
+            # task record itself
+            recorder.record(ctx, task.id, hist.TASK_STARTED,
+                            root=fiber.id, params=params,
+                            workflow=self.name)
         ctx.send(self.name, "RunFiber", {"fiber": fiber.id, "task": task.id},
                  priority=self.vinz.message_priority(task, PRIORITY_NORMAL),
                  max_attempts=self.FIBER_MESSAGE_ATTEMPTS,
@@ -421,6 +442,14 @@ class WorkflowService(Service):
             fiber.seen_deliveries.add(ctx.message.id)
             fiber.mailbox.append(body.get("value"))
             self.vinz.counters.incr("mailbox.delivered")
+            recorder = self.vinz.history
+            if recorder is not None:
+                # audit flavour: the fiber *consumes* the value via a
+                # later resume or try-receive event, so replay skips
+                # appends (the "append" key marks them)
+                recorder.record(ctx, fiber.task_id, hist.MESSAGE_DELIVERED,
+                                fiber=fiber.id, value=body.get("value"),
+                                append=True)
         if fiber.waiting_on == "receive":
             # wake the receiver; the value is popped under the lock so
             # a requeued wake-up cannot double-deliver
@@ -547,6 +576,7 @@ class WorkflowService(Service):
         enter_fiber_thread()
 
         fiber.last_node = ctx.node.id
+        waited = fiber.waiting_on
         if resume and value == self._MAILBOX:
             if not fiber.mailbox:
                 # a duplicate wake-up raced an earlier consumption:
@@ -554,6 +584,12 @@ class WorkflowService(Service):
                 return None
             value = fiber.mailbox.pop(0)
             fiber.waiting_on = None
+        recorder = self.vinz.history
+        if recorder is not None and resume:
+            # what resumed the fiber, with the exact value fed back in:
+            # the event replay re-delivers at this suspension point
+            recorder.record(ctx, task.id, hist.resume_kind_for(waited),
+                            fiber=fiber.id, value=value)
         ctx.trace("fiber-run", task=task.id, fiber=fiber.id,
                   resume=resume, version=fiber.version)
         charged_before = ctx.charged
@@ -639,6 +675,7 @@ class WorkflowService(Service):
         state_key = self._state_key(fiber.id)
         prev = dict(
             version=fiber.version,
+            last_persisted_version=fiber.last_persisted_version,
             fiber_status=fiber.status,
             waiting_on=fiber.waiting_on,
             fiber_finished_at=fiber.finished_at,
@@ -663,6 +700,7 @@ class WorkflowService(Service):
                                      fiber.version + 1):
                     cache.evict_continuation(fiber.id, version)
             fiber.version = prev["version"]
+            fiber.last_persisted_version = prev["last_persisted_version"]
             fiber.status = prev["fiber_status"]
             fiber.waiting_on = prev["waiting_on"]
             fiber.finished_at = prev["fiber_finished_at"]
@@ -713,6 +751,10 @@ class WorkflowService(Service):
     def _fiber_completed(self, ctx: OperationContext, task: TaskRecord,
                          fiber: FiberRecord, result: Any) -> None:
         registry = self.vinz.registry
+        recorder = self.vinz.history
+        if recorder is not None:
+            recorder.record(ctx, task.id, hist.FIBER_COMPLETED,
+                            fiber=fiber.id, result=result)
         registry.finish_fiber(fiber, COMPLETED, ctx.now, result=result)
         self._reclaim(ctx, self._state_key(fiber.id),
                       self._thunk_key(fiber.id))
@@ -766,6 +808,12 @@ class WorkflowService(Service):
                       fiber: FiberRecord, error: str,
                       terminate_task: bool) -> None:
         registry = self.vinz.registry
+        recorder = self.vinz.history
+        if recorder is not None:
+            # dead-letter handling arrives on an out-of-band context:
+            # the recorder commits those immediately (no window)
+            recorder.record(ctx, task.id, hist.FIBER_FAILED,
+                            fiber=fiber.id, error=error)
         registry.finish_fiber(fiber, ERROR, ctx.now, error=error)
         self._reclaim(ctx, self._state_key(fiber.id))
         ctx.trace("fiber-error", task=task.id, fiber=fiber.id, error=error)
@@ -793,6 +841,16 @@ class WorkflowService(Service):
         self._persist_continuation(ctx, cache, fiber, outcome.continuation)
         ctx.trace("fiber-suspend", task=task.id, fiber=fiber.id, why=kind,
                   version=fiber.version)
+        recorder = self.vinz.history
+        if recorder is not None:
+            recorder.record(
+                ctx, task.id, hist.FIBER_SUSPENDED, fiber=fiber.id,
+                why=kind, version=fiber.version,
+                snapshot=(fiber.last_persisted_version == fiber.version))
+            if kind == "service-call":
+                recorder.record(ctx, task.id, hist.SERVICE_REQUESTED,
+                                fiber=fiber.id,
+                                soap_action=descriptor.get("soap_action"))
 
         if kind == "await":
             pass  # an AwakeFiber from a child will resume us
@@ -927,12 +985,43 @@ class WorkflowService(Service):
             raise FencedWriteError(
                 f"stale fencing token {token} for {key} (owner {owner})")
 
+    def _skip_persist(self, ctx: OperationContext,
+                      cache: Optional[FiberCache],
+                      fiber: FiberRecord, continuation) -> bool:
+        """Snapshot-interval elision: with history on, only every Nth
+        suspension persists its continuation — the versions between
+        snapshots live in the node cache and are rebuilt by replay
+        after a crash or cache miss.  Fencing still applies: a zombie
+        must not even bump the version."""
+        recorder = self.vinz.history
+        interval = self.snapshot_interval
+        if recorder is None or interval <= 1:
+            return False
+        if (fiber.version + 1) % interval == 0:
+            return False
+        self._check_fence(ctx)
+        fiber.version += 1
+        self.vinz.counters.incr("persist.skipped")
+        if cache is not None:
+            cache.put_continuation(fiber.id, fiber.version, continuation)
+        return True
+
+    def _record_snapshot(self, ctx: OperationContext,
+                         fiber: FiberRecord) -> None:
+        fiber.last_persisted_version = fiber.version
+        recorder = self.vinz.history
+        if recorder is not None:
+            recorder.record(ctx, fiber.task_id, hist.SNAPSHOT_TAKEN,
+                            fiber=fiber.id, version=fiber.version)
+
     def _persist_continuation(self, ctx: OperationContext,
                               cache: Optional[FiberCache],
                               fiber: FiberRecord, continuation) -> None:
         if self.snapper is not None:
             return self._persist_continuation_v2(ctx, cache, fiber,
                                                  continuation)
+        if self._skip_persist(ctx, cache, fiber, continuation):
+            return
         self._check_fence(ctx)
         fiber.version += 1
         tracer = ctx.cluster.tracer
@@ -948,6 +1037,7 @@ class WorkflowService(Service):
             tracer.end(span, end=ctx.now + ctx.charged)
         self.vinz.counters.incr("persist.writes")
         self.vinz.counters.add("persist.bytes", len(blob))
+        self._record_snapshot(ctx, fiber)
         if cache is not None:
             cache.put_continuation(fiber.id, fiber.version, continuation)
         injector = getattr(self.vinz, "injector", None)
@@ -962,6 +1052,8 @@ class WorkflowService(Service):
                                  fiber: FiberRecord, continuation) -> None:
         """Incremental persist: chunk-dedup against the fiber's prior
         manifest, write only new chunks plus a small manifest."""
+        if self._skip_persist(ctx, cache, fiber, continuation):
+            return
         self._check_fence(ctx)
         fiber.version += 1
         tracer = ctx.cluster.tracer
@@ -991,6 +1083,7 @@ class WorkflowService(Service):
             tracer.end(span, end=ctx.now + ctx.charged)
         self.vinz.counters.incr("persist.writes")
         self.vinz.counters.add("persist.bytes", physical)
+        self._record_snapshot(ctx, fiber)
         if cache is not None:
             cache.put_continuation(fiber.id, fiber.version, continuation)
             cache.put_digest(result.manifest.hex_digest, continuation)
@@ -1027,6 +1120,23 @@ class WorkflowService(Service):
                 self.vinz.counters.incr("cache.mutable.hit")
                 return cached
             self.vinz.counters.incr("cache.mutable.miss")
+        recorder = self.vinz.history
+        if recorder is not None and (
+                self.vinz.recovery_mode == "replay"
+                or fiber.last_persisted_version != fiber.version):
+            # either the platform recovers by replay (never reads
+            # continuation snapshots), or the wanted version was never
+            # persisted (snapshot-interval elision) — rebuild it by
+            # re-executing the fiber against its recorded history
+            return self._rebuild_from_history(ctx, cache, fiber)
+        continuation = self._read_persisted(ctx, cache, fiber)
+        if cache is not None:
+            cache.put_continuation(fiber.id, fiber.version, continuation)
+        return continuation
+
+    def _read_persisted(self, ctx: OperationContext,
+                        cache: Optional[FiberCache], fiber: FiberRecord):
+        """Read + decode the fiber's persisted continuation snapshot."""
         tracer = ctx.cluster.tracer
         vstart = ctx.now + ctx.charged
         blob = self.vinz.store.read(self._state_key(fiber.id))
@@ -1045,6 +1155,32 @@ class WorkflowService(Service):
                 parent_id=ctx.span_id or None, fiber=fiber.id,
                 version=fiber.version, bytes=len(blob))
             tracer.end(span, end=ctx.now + ctx.charged)
+        return continuation
+
+    def _rebuild_from_history(self, ctx: OperationContext,
+                              cache: Optional[FiberCache],
+                              fiber: FiberRecord):
+        """Reconstruct the continuation at ``fiber.version`` by replay.
+
+        Under ``recovery="replay"`` the rebuild starts from the task's
+        beginning (zero continuation-snapshot reads); otherwise it
+        fast-forwards from the latest persisted snapshot and replays
+        only the suspensions elided since.  The re-executed
+        instructions are charged at the service's instruction cost —
+        replay is compute traded for persistence IO.
+        """
+        base = None
+        if self.vinz.recovery_mode != "replay" \
+                and fiber.last_persisted_version > 0:
+            base = (self._read_persisted(ctx, cache, fiber),
+                    fiber.last_persisted_version)
+        continuation, instructions = self.vinz.replayer.rebuild(
+            self, fiber, fiber.version, base=base)
+        ctx.charge(instructions * self.instruction_cost)
+        self.vinz.counters.incr("history.rebuilds")
+        ctx.trace("fiber-rebuild", task=fiber.task_id, fiber=fiber.id,
+                  version=fiber.version,
+                  base=(base[1] if base is not None else None))
         if cache is not None:
             cache.put_continuation(fiber.id, fiber.version, continuation)
         return continuation
@@ -1176,6 +1312,29 @@ class _OutOfBandContext:
         self.cluster.trace.record(self.now, kind, **detail)
 
 
+def deliver_collected(vm, child_ids: List[str], triples) -> List[Any]:
+    """Turn recorded ``(status, result, error)`` triples into the
+    collect-child-results value, signalling on failed children.
+
+    Shared by the live path and history replay so both produce the
+    same control flow from the same observations."""
+    results: List[Any] = []
+    for child_id, (status, result, error) in zip(child_ids, triples):
+        if status == COMPLETED:
+            results.append(result)
+        elif status in (ERROR, TERMINATED):
+            condition = GozerCondition(
+                message=error or status,
+                condition_type="child-fiber-error",
+                data=child_id)
+            vm.signal(condition, error_p=True)
+        else:
+            raise GozerRuntimeError(
+                f"collect-child-results: child {child_id} still "
+                f"{status} (missing yield discipline?)")
+    return results
+
+
 class FiberExecution:
     """Per-advancement bridge between the GVM and Vinz.
 
@@ -1190,6 +1349,40 @@ class FiberExecution:
         self.task = task
         self.fiber = fiber
         self.vm = vm
+
+    # -- nondeterminism capture ----------------------------------------------
+
+    def nondet(self, op: str, thunk):
+        """Evaluate ``thunk`` and record its value as a nondeterminism
+        event.  Replay feeds the recorded value back instead of
+        re-evaluating, which is what makes fiber re-execution
+        deterministic (Durable-Functions-style event sourcing)."""
+        value = thunk()
+        recorder = self.service.vinz.history
+        if recorder is not None:
+            recorder.record(self.ctx, self.task.id, hist.NONDET_RECORDED,
+                            fiber=self.fiber.id, op=op, value=value)
+        return value
+
+    def _mark(self, op: str) -> None:
+        """Record a value-less nondet marker for an effectful intrinsic
+        (send/awake/taskvar-write) so the replay cursor stays aligned
+        without re-performing the side effect."""
+        recorder = self.service.vinz.history
+        if recorder is not None:
+            recorder.record(self.ctx, self.task.id, hist.NONDET_RECORDED,
+                            fiber=self.fiber.id, op=op, value=None)
+
+    def clock_now(self) -> float:
+        """Virtual wall clock as seen by this operation window."""
+        return self.ctx.now + self.ctx.charged
+
+    def random_draw(self, n):
+        """Draw from the cluster's seeded RNG (recorded via nondet)."""
+        rng = self.ctx.cluster.rng
+        if isinstance(n, int) and not isinstance(n, bool):
+            return rng.randrange(n) if n > 0 else 0
+        return rng.uniform(0.0, float(n))
 
     # -- fiber management -----------------------------------------------------
 
@@ -1242,6 +1435,11 @@ class FiberExecution:
                           self.task, PRIORITY_NORMAL),
                       max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS,
                       parent_span=child.span_id)
+        recorder = vinz.history
+        if recorder is not None:
+            recorder.record(self.ctx, self.task.id, hist.FIBER_FORKED,
+                            fiber=self.fiber.id, child=child.id, fn=fn,
+                            args=list(args), notify=notify_parent)
         return child.id
 
     def fork_chain(self, fn: GozerFunction, items: List[Any]) -> str:
@@ -1294,7 +1492,7 @@ class FiberExecution:
         undo_state["monitored"] = True
         group_id = f"chain:{self.fiber.id}:{len(self.task.chain_groups)}"
         undo_state["group"] = group_id
-        limit = max(1, self.spawn_limit())
+        limit = max(1, self._spawn_limit_value())
         pending = children[limit:]
         self.task.chain_groups[group_id] = {
             "parent": self.fiber.id,
@@ -1320,6 +1518,12 @@ class FiberExecution:
                           {"fiber": self.fiber.id, "child": None},
                           priority=PRIORITY_LOW,
                           max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+        recorder = vinz.history
+        if recorder is not None:
+            recorder.record(self.ctx, self.task.id, hist.FIBER_FORKED,
+                            fiber=self.fiber.id, chain=group_id,
+                            children=list(children), fn=fn,
+                            items=list(items))
         return group_id
 
     def collect_chain(self, vm, group_id: str) -> List[Any]:
@@ -1330,25 +1534,20 @@ class FiberExecution:
 
     def collect_results(self, vm, child_ids: List[str]) -> List[Any]:
         """Gather child results in order; signal on failed children."""
-        results: List[Any] = []
         registry = self.service.vinz.registry
-        for child_id in child_ids:
-            child = registry.fibers.get(child_id)
-            if child is None:
-                raise GozerRuntimeError(f"no such child fiber {child_id}")
-            if child.status == COMPLETED:
-                results.append(child.result)
-            elif child.status in (ERROR, TERMINATED):
-                condition = GozerCondition(
-                    message=child.error or child.status,
-                    condition_type="child-fiber-error",
-                    data=child_id)
-                vm.signal(condition, error_p=True)
-            else:
-                raise GozerRuntimeError(
-                    f"collect-child-results: child {child_id} still "
-                    f"{child.status} (missing yield discipline?)")
-        return results
+
+        def gather():
+            triples = []
+            for child_id in child_ids:
+                child = registry.fibers.get(child_id)
+                if child is None:
+                    raise GozerRuntimeError(
+                        f"no such child fiber {child_id}")
+                triples.append((child.status, child.result, child.error))
+            return triples
+
+        triples = self.nondet("collect", gather)
+        return deliver_collected(vm, child_ids, triples)
 
     def join_sync(self, pid: str) -> Any:
         """join-process from a background thread (Section 3.4).
@@ -1358,20 +1557,26 @@ class FiberExecution:
         the target already finished.
         """
         registry = self.service.vinz.registry
-        record = registry.fibers.get(pid) or registry.tasks.get(pid)
-        if record is None:
-            raise GozerRuntimeError(f"join-process: no such process {pid}")
-        if record.finished:
-            return record.result
-        raise GozerRuntimeError(
-            "join-process from a background thread on an unfinished "
-            "process: unsupported in discrete-event simulation mode")
+
+        def probe():
+            record = registry.fibers.get(pid) or registry.tasks.get(pid)
+            if record is None:
+                raise GozerRuntimeError(
+                    f"join-process: no such process {pid}")
+            if record.finished:
+                return record.result
+            raise GozerRuntimeError(
+                "join-process from a background thread on an unfinished "
+                "process: unsupported in discrete-event simulation mode")
+
+        return self.nondet("join-sync", probe)
 
     def awake(self, pid: str, payload: Any) -> None:
         self.ctx.send(self.service.name, "AwakeFiber",
                       {"fiber": pid, "result": payload},
                       priority=PRIORITY_LOW,
                       max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
+        self._mark("awake")
 
     def send_fiber_message(self, pid: str, value: Any) -> None:
         """Lightweight cross-process communication (the Section 5
@@ -1380,6 +1585,7 @@ class FiberExecution:
                       {"fiber": pid, "value": value},
                       max_attempts=self.service.FIBER_MESSAGE_ATTEMPTS)
         self.service.vinz.counters.incr("mailbox.sent")
+        self._mark("send-message")
 
     def auto_chunk_size(self) -> int:
         """Pick a chunk size from measured child durations (Section 5:
@@ -1390,35 +1596,51 @@ class FiberExecution:
         phase) as the per-item cost sample; sizes chunks so each takes
         roughly ``auto_chunk_target`` simulated seconds.
         """
-        registry = self.service.vinz.registry
-        durations = [
-            child.total_charged
-            for child in (registry.fibers[cid]
-                          for cid in self.task.fiber_ids
-                          if registry.fibers[cid].parent_id == self.fiber.id)
-            if child.finished and child.total_charged > 0
-        ]
-        if not durations:
-            return 1
-        recent = durations[-4:]
-        avg = max(sum(recent) / len(recent), 1e-6)
-        size = int(self.service.auto_chunk_target / avg)
-        chosen = max(1, min(size, 64))
-        self.service.vinz.counters.incr("autochunk.decisions")
-        self.ctx.trace("auto-chunk", task=self.task.id,
-                       fiber=self.fiber.id, avg_item=round(avg, 4),
-                       size=chosen)
-        return chosen
+        def decide():
+            registry = self.service.vinz.registry
+            durations = [
+                child.total_charged
+                for child in (registry.fibers[cid]
+                              for cid in self.task.fiber_ids
+                              if registry.fibers[cid].parent_id
+                              == self.fiber.id)
+                if child.finished and child.total_charged > 0
+            ]
+            if not durations:
+                return 1
+            recent = durations[-4:]
+            avg = max(sum(recent) / len(recent), 1e-6)
+            size = int(self.service.auto_chunk_target / avg)
+            chosen = max(1, min(size, 64))
+            self.service.vinz.counters.incr("autochunk.decisions")
+            self.ctx.trace("auto-chunk", task=self.task.id,
+                           fiber=self.fiber.id, avg_item=round(avg, 4),
+                           size=chosen)
+            return chosen
+
+        return self.nondet("auto-chunk", decide)
 
     def try_receive(self) -> Any:
         """Pop a pending mailbox message, or the no-message keyword."""
         from ..lang.symbols import Keyword
 
-        if self.fiber.mailbox:
-            return self.fiber.mailbox.pop(0)
-        return Keyword("%vinz-no-message")
+        def pop():
+            if self.fiber.mailbox:
+                return self.fiber.mailbox.pop(0)
+            return Keyword("%vinz-no-message")
+
+        return self.nondet("try-receive", pop)
 
     # -- spawn limit ----------------------------------------------------------
+
+    def _spawn_limit_value(self) -> int:
+        """The task's effective spawn limit right now (unrecorded)."""
+        limit = self.task.spawn_limit
+        if limit is None:
+            limit = self.service.default_spawn_limit
+        if limit == AUTO_SPAWN_LIMIT:
+            return self.service.vinz.governor.current_limit(self.ctx.now)
+        return limit
 
     def spawn_limit(self) -> int:
         """The task's effective spawn limit right now.
@@ -1429,12 +1651,7 @@ class FiberExecution:
         ``(vinz-auto-spawn-limit)``) follows the AIMD governor's
         decisions mid-fan-out.
         """
-        limit = self.task.spawn_limit
-        if limit is None:
-            limit = self.service.default_spawn_limit
-        if limit == AUTO_SPAWN_LIMIT:
-            return self.service.vinz.governor.current_limit(self.ctx.now)
-        return limit
+        return self.nondet("spawn-limit", self._spawn_limit_value)
 
     def set_spawn_limit(self, n: int) -> int:
         self.task.spawn_limit = max(1, n)
@@ -1443,23 +1660,32 @@ class FiberExecution:
     def auto_spawn_limit(self) -> int:
         """Hand this task's spawn limit to the adaptive governor;
         returns the currently governed limit."""
-        self.task.spawn_limit = AUTO_SPAWN_LIMIT
-        return self.service.vinz.governor.current_limit(self.ctx.now)
+
+        def engage():
+            self.task.spawn_limit = AUTO_SPAWN_LIMIT
+            return self.service.vinz.governor.current_limit(self.ctx.now)
+
+        return self.nondet("auto-spawn-limit", engage)
 
     # -- task variables (Section 3.6) ----------------------------------------
 
     def get_task_var(self, name: str) -> Any:
         """Read-through to the store: "will always see the latest value"."""
         vinz = self.service.vinz
-        key = self.service._task_var_key(self.task.id, name)
-        vinz.counters.incr("taskvar.reads")
-        if vinz.store.exists(key):
-            blob = vinz.store.read(key)
-            self.ctx.charge(vinz.store.cost(len(blob)))
-            return pickle.loads(blob)
-        if name not in self.service.task_var_defaults:
-            raise GozerRuntimeError(f"undeclared task variable ^{name}^")
-        return self.service.task_var_defaults[name]
+
+        def read():
+            key = self.service._task_var_key(self.task.id, name)
+            vinz.counters.incr("taskvar.reads")
+            if vinz.store.exists(key):
+                blob = vinz.store.read(key)
+                self.ctx.charge(vinz.store.cost(len(blob)))
+                return pickle.loads(blob)
+            if name not in self.service.task_var_defaults:
+                raise GozerRuntimeError(
+                    f"undeclared task variable ^{name}^")
+            return self.service.task_var_defaults[name]
+
+        return self.nondet(f"taskvar-get/{name}", read)
 
     def set_task_var(self, name: str, value: Any) -> Any:
         """Locked write: the paper's "very high synchronization
@@ -1467,6 +1693,7 @@ class FiberExecution:
         vinz = self.service.vinz
         if name not in self.service.task_var_defaults:
             raise GozerRuntimeError(f"undeclared task variable ^{name}^")
+        self._mark(f"taskvar-set/{name}")
         key = self.service._task_var_key(self.task.id, name)
         owner = f"{self.ctx.instance.id}#{self.ctx.message.id}"
         lock_key = f"taskvar/{self.task.id}/{name}"
@@ -1499,15 +1726,18 @@ class FiberExecution:
     # -- service calls ----------------------------------------------------------
 
     def call_sync(self, soap_action: str, values: Dict[str, Any]) -> Dict[str, Any]:
-        service_name, operation = self.service.vinz.resolve_soap_action(
-            soap_action)
-        envelope = self.ctx.cluster.call_inline(service_name, operation,
-                                                dict(values),
-                                                parent_context=self.ctx)
-        if envelope.duration is not None:
-            self.service.vinz.record_service_latency(soap_action,
-                                                     envelope.duration)
-        return envelope.to_body()
+        def invoke():
+            service_name, operation = self.service.vinz.resolve_soap_action(
+                soap_action)
+            envelope = self.ctx.cluster.call_inline(service_name, operation,
+                                                    dict(values),
+                                                    parent_context=self.ctx)
+            if envelope.duration is not None:
+                self.service.vinz.record_service_latency(soap_action,
+                                                         envelope.duration)
+            return envelope.to_body()
+
+        return self.nondet(f"call-sync/{soap_action}", invoke)
 
     # -- misc ----------------------------------------------------------------
 

@@ -91,6 +91,11 @@ class FiberRecord:
     finished_at: Optional[float] = None
     #: version of the persisted continuation (bumps on every persist)
     version: int = 0
+    #: highest version whose continuation actually reached the store —
+    #: with ``snapshot_interval > 1`` persists are skipped between
+    #: snapshots, so this can trail ``version`` (the gap is rebuilt by
+    #: history replay on a cache miss)
+    last_persisted_version: int = 0
     #: the node that last advanced this fiber (locality policy hint)
     last_node: Optional[str] = None
     #: sibling-chain group this fiber belongs to, if any

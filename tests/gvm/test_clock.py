@@ -1,0 +1,118 @@
+"""Runtime clock plumbing: ``get-universal-time`` and ``sleep`` route
+through the runtime's clock abstraction instead of calling the host's
+``time.time()`` / ``time.sleep()`` directly, so a virtual clock makes
+time-dependent programs deterministic and sleeps free."""
+
+import time
+
+import pytest
+
+from repro.gvm.futures import SynchronousFutureExecutor
+from repro.gvm.runtime import Runtime, RuntimeClock, VirtualClock
+from repro.lang.symbols import Keyword
+from repro.vinz.api import VinzEnvironment
+
+
+@pytest.fixture
+def virtual_rt():
+    runtime = Runtime(executor=SynchronousFutureExecutor(),
+                      clock=VirtualClock(start=1000.0))
+    yield runtime
+    runtime.shutdown()
+
+
+class TestVirtualClock:
+    def test_get_universal_time_reads_virtual_clock(self, virtual_rt):
+        assert virtual_rt.eval_string("(get-universal-time)") == 1000.0
+
+    def test_sleep_advances_virtual_time_not_wall_time(self, virtual_rt):
+        wall_before = time.monotonic()
+        value = virtual_rt.eval_string("""
+            (progn (sleep 3600)
+                   (get-universal-time))""")
+        wall_elapsed = time.monotonic() - wall_before
+        assert value == 4600.0
+        assert wall_elapsed < 5.0  # an hour of virtual sleep is free
+        assert virtual_rt.clock.slept == 3600.0
+
+    def test_sleep_returns_nil_and_clamps_negative(self, virtual_rt):
+        assert virtual_rt.eval_string("(sleep -5)") is None
+        assert virtual_rt.eval_string("(get-universal-time)") == 1000.0
+
+    def test_virtual_clock_advance(self):
+        clock = VirtualClock(start=10.0)
+        clock.advance(5.0)
+        assert clock.now() == 15.0
+        clock.advance(-1.0)  # negative advances are ignored
+        assert clock.now() == 15.0
+
+    def test_time_dependent_program_is_deterministic(self):
+        source = """
+            (let ((t0 (get-universal-time)))
+              (sleep 7)
+              (- (get-universal-time) t0))"""
+
+        def run():
+            runtime = Runtime(executor=SynchronousFutureExecutor(),
+                              clock=VirtualClock(start=0.0))
+            try:
+                return runtime.eval_string(source)
+            finally:
+                runtime.shutdown()
+
+        assert run() == run() == 7.0
+
+
+class TestRealClock:
+    def test_default_runtime_uses_wall_clock(self, rt):
+        before = time.time()
+        value = rt.eval_string("(get-universal-time)")
+        assert before <= value <= time.time()
+
+    def test_runtime_clock_sleep_sleeps(self):
+        clock = RuntimeClock()
+        start = time.monotonic()
+        clock.sleep(0.05)
+        assert time.monotonic() - start >= 0.04
+        clock.sleep(-1)  # negative is a no-op, not an error
+
+
+class TestWorkflowClock:
+    def test_workflow_time_follows_the_simulation_clock(self):
+        """Inside a fiber, ``get-universal-time`` reads the cluster's
+        discrete-event clock (via the recorded nondet path), so
+        workflow-visible time moves with ``compute``, not the host."""
+        env = VinzEnvironment(nodes=2, seed=3)
+        env.deploy_workflow("Clocked", """
+(defun main (params)
+  (let ((t0 (get-universal-time)))
+    (compute 5.0)
+    (list :elapsed (- (get-universal-time) t0))))
+""")
+        task_id = env.run("Clocked", None)
+        task = env.registry.tasks[task_id]
+        plist = {task.result[i].name: task.result[i + 1]
+                 for i in range(0, len(task.result), 2)}
+        assert plist["elapsed"] == pytest.approx(5.0, abs=1e-6) \
+            or plist["elapsed"] > 5.0
+        # and the whole run consumed (essentially) no wall time beyond
+        # the simulation itself: the virtual clock finished past t0+5
+        assert env.cluster.kernel.now >= 5.0
+
+    def test_workflow_sleep_yields_to_the_scheduler(self):
+        """``(sleep n)`` in a fiber suspends it for n virtual seconds
+        (the %vinz-sleep path), not the host thread."""
+        env = VinzEnvironment(nodes=2, seed=3)
+        env.deploy_workflow("Sleeper", """
+(defun main (params)
+  (let ((t0 (get-universal-time)))
+    (sleep 30)
+    (list :elapsed (- (get-universal-time) t0))))
+""")
+        wall_before = time.monotonic()
+        task_id = env.run("Sleeper", None)
+        assert time.monotonic() - wall_before < 5.0
+        task = env.registry.tasks[task_id]
+        plist = {task.result[i].name: task.result[i + 1]
+                 for i in range(0, len(task.result), 2)}
+        assert plist["elapsed"] >= 30.0

@@ -151,7 +151,21 @@ class TestSignalAndHandlers:
             (handler-case some-unbound-name
               (unbound-variable (c) :unbound))""") == K("unbound")
 
-    def test_warn_returns_nil(self, rt, capsys):
+    def test_warn_returns_nil(self, rt, caplog):
+        # warnings route through the ``gozer`` logger (pytest's capture
+        # counts as a configured handler, so no stderr echo here)
+        import logging
+        with caplog.at_level(logging.WARNING, logger="gozer"):
+            assert rt.eval_string('(warn "careful")') is None
+        assert "careful" in caplog.text
+
+    def test_warn_echoes_to_stderr_without_handlers(self, rt, capsys,
+                                                    monkeypatch):
+        # with no logging handler configured anywhere, the pre-logger
+        # behaviour is preserved: the warning is echoed to stderr
+        import logging
+        monkeypatch.setattr(logging.Logger, "hasHandlers",
+                            lambda self: False)
         assert rt.eval_string('(warn "careful")') is None
         assert "careful" in capsys.readouterr().err
 
