@@ -14,7 +14,12 @@ Commands:
 * ``expand EXPR`` — print the macroexpansion of an expression;
 * ``repl`` — the interactive REPL (same as examples/repl.py);
 * ``production-day [SCALE]`` — run the Section 5 synthetic production
-  day and print the paper-vs-measured report.
+  day and print the paper-vs-measured report;
+* ``fuzz --seed S --budget N`` — the generative conformance campaign:
+  differential execution of N generated programs across the tree
+  interpreter, the bytecode VM, pickle-roundtripped continuations and
+  distributed Vinz runs under chaos (docs/conformance.md).  Exits
+  non-zero on any unclassified divergence.
 """
 
 from __future__ import annotations
@@ -157,6 +162,26 @@ def cmd_production_day(args) -> int:
     return 0 if result.failed_tasks == 0 else 1
 
 
+def cmd_fuzz(args) -> int:
+    from .conformance.fuzz import run_fuzz, write_report
+
+    def progress(done, budget, divergences):
+        print(f"  … {done}/{budget} programs, "
+              f"{divergences} divergence(s)", file=sys.stderr)
+
+    report = run_fuzz(seed=args.seed, budget=args.budget,
+                      vinz_every=args.vinz_every,
+                      chaos=not args.no_chaos,
+                      repro_dir=args.repro_dir,
+                      shrink_checks=args.shrink_checks,
+                      progress=progress if args.verbose else None)
+    print(report.summary())
+    if args.report:
+        write_report(report, args.report)
+        print(f"report written to {args.report}")
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -210,6 +235,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--slots", type=int, default=4)
     p.add_argument("--seed", type=int, default=2010)
     p.set_defaults(fn=cmd_production_day)
+
+    p = sub.add_parser("fuzz",
+                       help="run the generative conformance campaign")
+    p.add_argument("--seed", type=int, default=7)
+    p.add_argument("--budget", type=int, default=200,
+                   help="number of generated programs")
+    p.add_argument("--vinz-every", type=int, default=10,
+                   help="run the distributed oracle on every Nth "
+                        "non-dist program (dist programs always run it)")
+    p.add_argument("--no-chaos", action="store_true",
+                   help="disable fault injection in the Vinz oracle")
+    p.add_argument("--shrink-checks", type=int, default=400,
+                   help="oracle-replay budget per divergence shrink")
+    p.add_argument("--report", help="write a JSON report to this path")
+    p.add_argument("--repro-dir",
+                   help="save shrunken diverging repros here as .gozer "
+                        "corpus entries")
+    p.add_argument("--verbose", action="store_true",
+                   help="print progress every 25 programs")
+    p.set_defaults(fn=cmd_fuzz)
 
     return parser
 

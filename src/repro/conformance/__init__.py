@@ -1,0 +1,34 @@
+"""Generative conformance subsystem (ISSUE 10).
+
+A seeded grammar-based Gozer program generator, a multi-oracle
+differential executor (tree interpreter / bytecode VM / VM with
+pickle-roundtripped continuations / distributed Vinz under chaos), a
+delta-debugging shrinker and a coverage accounter — the machinery that
+turns the paper's transparency claim (§4.1, §5: compilation and
+continuation capture don't change what a program computes) into a
+continuously checked property.  See docs/conformance.md.
+"""
+
+from .corpus import dumps, load_dir, load_file, loads, save
+from .coverage import CoverageAccounter, CoverageReport
+from .executor import DifferentialExecutor, Divergence, ProgramVerdict
+from .grammar import (DIST, PURE, SUSPEND, TREE_UNSUPPORTED,
+                      VINZ_UNSUPPORTED, Analysis, GenProgram,
+                      ProgramGenerator, analyze, sequentialize)
+from .oracles import (ConformanceTreeInterpreter, Outcome, StepwiseResult,
+                      run_stepwise, run_tree, run_vinz, run_vm,
+                      run_vm_pickle, stepwise_safe)
+from .shrinker import ShrinkResult, Shrinker, shrink_divergence
+from .fuzz import FuzzReport, run_fuzz, write_report
+
+__all__ = [
+    "Analysis", "ConformanceTreeInterpreter", "CoverageAccounter",
+    "CoverageReport", "DIST", "DifferentialExecutor", "Divergence",
+    "FuzzReport", "GenProgram", "Outcome", "PURE", "ProgramGenerator",
+    "ProgramVerdict", "SUSPEND", "ShrinkResult", "Shrinker",
+    "StepwiseResult", "TREE_UNSUPPORTED", "VINZ_UNSUPPORTED", "analyze",
+    "dumps", "load_dir", "load_file", "loads", "run_fuzz",
+    "run_stepwise", "run_tree", "run_vinz", "run_vm", "run_vm_pickle",
+    "save", "sequentialize", "shrink_divergence", "stepwise_safe",
+    "write_report",
+]

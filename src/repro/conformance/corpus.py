@@ -1,0 +1,109 @@
+"""Checked-in conformance corpus: ``.gozer`` files replayed by pytest.
+
+Format — a comment header followed by printed forms, the last form
+being the program body::
+
+    ;; name: seed7-0042-tree
+    ;; stratum: pure
+    ;; feeds: 3 -1 4
+    ;; note: fixed unpicklable constantly closures (PR 10)
+    (defun helper (a) (* a 2))
+    (+ (helper 3) 4)
+
+``feeds`` answers the program's yields (suspend stratum).  ``note``
+names the bug a shrunken repro pinned down, per ISSUE 10 satellite 4.
+Reproduce any entry from scratch with::
+
+    python -m repro fuzz --seed <S> --budget <N>
+
+since program ``i`` of seed ``S`` is a pure function of ``(S, i)``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from ..lang.printer import print_form
+from .grammar import DIST, PURE, SUSPEND, GenProgram, analyze
+
+_STRATA = (PURE, SUSPEND, DIST)
+
+
+def dumps(program: GenProgram) -> str:
+    lines = [f";; name: {program.name}",
+             f";; stratum: {program.stratum}"]
+    if program.seed is not None:
+        lines.append(f";; seed: {program.seed}")
+    if program.index is not None:
+        lines.append(f";; index: {program.index}")
+    if program.feeds:
+        lines.append(";; feeds: " + " ".join(str(f) for f in program.feeds))
+    for note_line in program.note.splitlines():
+        lines.append(f";; note: {note_line}")
+    for form in program.forms:
+        lines.append(print_form(form))
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str, fallback_name: str = "corpus-entry") -> GenProgram:
+    from ..gvm.runtime import make_runtime
+
+    name = fallback_name
+    stratum = PURE
+    feeds: tuple = ()
+    seed: Optional[int] = None
+    index: Optional[int] = None
+    notes: List[str] = []
+    body_lines: List[str] = []
+    for line in text.splitlines():
+        stripped = line.strip()
+        if stripped.startswith(";;"):
+            content = stripped[2:].strip()
+            key, _, value = content.partition(":")
+            key, value = key.strip(), value.strip()
+            if key == "name":
+                name = value
+            elif key == "stratum" and value in _STRATA:
+                stratum = value
+            elif key == "feeds":
+                feeds = tuple(int(tok) for tok in value.split())
+            elif key == "seed":
+                seed = int(value)
+            elif key == "index":
+                index = int(value)
+            elif key == "note":
+                notes.append(value)
+        else:
+            body_lines.append(line)
+    forms = make_runtime().read_all("\n".join(body_lines))
+    if not forms:
+        raise ValueError(f"corpus entry {name!r} has no forms")
+    return GenProgram(prelude=forms[:-1], body=forms[-1], feeds=feeds,
+                      stratum=stratum, name=name, seed=seed, index=index,
+                      note="\n".join(notes))
+
+
+def save(program: GenProgram, directory: str) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{program.name}.gozer")
+    with open(path, "w") as fh:
+        fh.write(dumps(program))
+    return path
+
+
+def load_file(path: str) -> GenProgram:
+    with open(path) as fh:
+        text = fh.read()
+    fallback = os.path.splitext(os.path.basename(path))[0]
+    return loads(text, fallback_name=fallback)
+
+
+def load_dir(directory: str) -> List[GenProgram]:
+    if not os.path.isdir(directory):
+        return []
+    programs = []
+    for entry in sorted(os.listdir(directory)):
+        if entry.endswith(".gozer"):
+            programs.append(load_file(os.path.join(directory, entry)))
+    return programs

@@ -20,6 +20,7 @@ from __future__ import annotations
 import pickle
 from typing import Any, Dict, List
 
+from ..bluebox.store import StoreError
 from ..vinz.persistence import crc_frame, parse_crc_frames
 from .recorder import SCHEMA_VERSION, HistoryEvent
 
@@ -54,6 +55,12 @@ class DroppedBatchError(HistoryCorruptionError):
 class HistoryLog:
     """Batched, CRC-framed history storage on a shared-store plane."""
 
+    #: batch appends survive this many transient store failures before
+    #: the error propagates (history runs in the window's completion
+    #: hook, *after* commit — there is no message redelivery left to
+    #: retry it, so the append must absorb transient faults itself)
+    WRITE_ATTEMPTS = 3
+
     def __init__(self, store, metrics=None):
         self.store = store
         self.metrics = metrics
@@ -64,6 +71,7 @@ class HistoryLog:
         self._next_batch: Dict[str, int] = {}
         self.batches_written = 0
         self.bytes_written = 0
+        self.write_retries = 0
 
     @staticmethod
     def _key(task_id: str, index: int) -> str:
@@ -91,7 +99,23 @@ class HistoryLog:
             blob = self.injector.on_history_write(key, blob)
             if blob is None:
                 return  # dropped-batch fault: the write never lands
-        self.store.write(key, blob)
+        # A failed append would leave a permanent gap at this index —
+        # read_task fails closed on gaps, so the whole history would be
+        # unreplayable over one transient store hiccup.  Other store
+        # writes get retried by message redelivery; this one runs after
+        # the window committed, so it retries here.  The write is
+        # idempotent (same key, same bytes), and a persistent outage
+        # still surfaces: the last error propagates.
+        for attempt in range(self.WRITE_ATTEMPTS):
+            try:
+                self.store.write(key, blob)
+                break
+            except StoreError:
+                self.write_retries += 1
+                if self.metrics is not None and self.metrics.enabled:
+                    self.metrics.counter("history.write_retries").inc()
+                if attempt == self.WRITE_ATTEMPTS - 1:
+                    raise
         self.batches_written += 1
         self.bytes_written += len(blob)
         if self.metrics is not None and self.metrics.enabled:
@@ -152,4 +176,5 @@ class HistoryLog:
         return {
             "batches_written": self.batches_written,
             "log_bytes": self.bytes_written,
+            "write_retries": self.write_retries,
         }

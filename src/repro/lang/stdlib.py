@@ -307,9 +307,27 @@ def _identity(x):
     return x
 
 
+class _Constantly:
+    """Picklable ``constantly`` result.
+
+    A plain ``lambda`` here breaks continuation persistence: a fiber
+    suspended while a ``constantly`` closure sits in a frame could not
+    be pickled for migration (surfaced by the conformance fuzzer's
+    stepwise capture oracle).
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __call__(self, *args):
+        return self.value
+
+
 @builtin("constantly")
 def _constantly(x):
-    return lambda *args: x
+    return _Constantly(x)
 
 
 # ===========================================================================
@@ -1207,30 +1225,15 @@ def _install_intrinsics(runtime) -> None:
 
     env.define_intrinsic("defvar", defvar_intrinsic)
 
-    def dot(obj, member, *args):
-        obj = force(obj)
-        attr = getattr(obj, _method_name(member))
-        return attr(*[force(a) for a in args])
-
-    env.define_intrinsic("dot", dot)
-
-    def dot_field(obj, member):
-        return getattr(force(obj), _method_name(member))
-
-    env.define_intrinsic("dot-field", dot_field)
-
-    def dot_setf(obj, member, value):
-        setattr(force(obj), _method_name(member), value)
-        return value
-
-    env.define_intrinsic("dot-setf", dot_setf)
-
-    def sethash(key, table, value):
-        table[_hash_key(key)] = value
-        return value
-
-    env.define_intrinsic("sethash", sethash)
-    env.define(_S("sethash"), sethash)
+    # runtime-independent intrinsics live at module level (not as
+    # closures) so continuations that hold a reference to them — e.g. a
+    # fiber suspended between the ``load-global`` of ``sethash`` and
+    # its ``call`` — stay picklable for migration
+    env.define_intrinsic("dot", _dot_intrinsic)
+    env.define_intrinsic("dot-field", _dot_field_intrinsic)
+    env.define_intrinsic("dot-setf", _dot_setf_intrinsic)
+    env.define_intrinsic("sethash", _sethash_intrinsic)
+    env.define(_S("sethash"), _sethash_intrinsic)
 
     env.define_intrinsic("is-fiber-thread", lambda: is_fiber_thread())
 
@@ -1287,6 +1290,26 @@ def _install_intrinsics(runtime) -> None:
         return macroexpand(form, env, runtime.apply)
 
     env.define(_S("macroexpand"), macroexpand_fn)
+
+
+def _dot_intrinsic(obj, member, *args):
+    obj = force(obj)
+    attr = getattr(obj, _method_name(member))
+    return attr(*[force(a) for a in args])
+
+
+def _dot_field_intrinsic(obj, member):
+    return getattr(force(obj), _method_name(member))
+
+
+def _dot_setf_intrinsic(obj, member, value):
+    setattr(force(obj), _method_name(member), value)
+    return value
+
+
+def _sethash_intrinsic(key, table, value):
+    table[_hash_key(key)] = value
+    return value
 
 
 def _method_name(member) -> str:

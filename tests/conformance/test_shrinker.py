@@ -1,0 +1,90 @@
+"""Shrinker tests: minimality, safety and the oracle-replay predicate."""
+
+from repro.conformance import Shrinker
+from repro.conformance.corpus import loads
+from repro.conformance.shrinker import still_diverges
+from repro.lang.printer import print_form
+from repro.lang.symbols import Symbol
+
+
+def program(source, feeds=()):
+    text = ";; name: t\n;; stratum: pure\n"
+    if feeds:
+        text += ";; feeds: " + " ".join(map(str, feeds)) + "\n"
+    return loads(text + source)
+
+
+def contains_division(form):
+    if isinstance(form, Symbol):
+        return form.name == "/"
+    if isinstance(form, list):
+        return any(contains_division(f) for f in form)
+    return False
+
+
+class TestShrinker:
+    def test_shrinks_to_minimal_interesting_body(self):
+        # synthetic interestingness: "contains a division" — the
+        # shrinker should strip all the bystander structure around it
+        big = program(
+            "(defun noise (x) (* x 2))\n"
+            "(let ((a (noise 3)) (b (list 1 2 3)))\n"
+            "  (list (length b) (+ a (/ 10 2)) (reverse b)))")
+        result = Shrinker(
+            lambda p: contains_division(p.body)).shrink(big)
+        shrunk = result.program
+        assert contains_division(shrunk.body)
+        assert not shrunk.prelude  # the unused defun was dropped
+        # minimal: just the division call, nothing around it
+        assert print_form(shrunk.body) in ("(/ 10 2)", "(/ 0)", "(/)",
+                                           "(/ 0 0)", "(/ 10 0)",
+                                           "(/ 0 2)")
+
+    def test_uninteresting_program_is_returned_unchanged(self):
+        p = program("(+ 1 2)")
+        result = Shrinker(lambda _: False).shrink(p)
+        assert result.program.forms == p.forms
+
+    def test_check_budget_is_respected(self):
+        big = program("(list " + " ".join(str(i) for i in range(30)) + ")")
+        result = Shrinker(lambda p: isinstance(p.body, list),
+                          max_checks=10).shrink(big)
+        assert result.checks <= 10
+        assert result.exhausted
+
+    def test_shrunk_programs_stay_well_formed(self):
+        # every accepted candidate must still be readable source —
+        # the corpus round trip is how repros get checked in
+        from repro.lang.reader import read_all
+
+        big = program("(let ((x (list 1 2 3)))\n"
+                      "  (if (> (length x) 1) (/ 6 3) :small))")
+        result = Shrinker(
+            lambda p: contains_division(p.body)).shrink(big)
+        assert read_all(result.program.source) == result.program.forms
+
+
+class TestStillDiverges:
+    def test_healthy_program_does_not_diverge(self):
+        p = program("(sort (list 3 1 2))")
+        assert not still_diverges(p, "vm")
+        assert not still_diverges(p, "vm-pickle")
+        assert not still_diverges(p, "tree")
+
+    def test_harness_exception_counts_as_boring(self, monkeypatch):
+        # a candidate that crashes the harness itself (not the engine
+        # under test) must count as uninteresting, not abort the
+        # shrink loop
+        import repro.conformance.shrinker as mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("harness died")
+
+        monkeypatch.setattr(mod, "run_vm", boom)
+        assert not still_diverges(program("(+ 1 2)"), "tree")
+
+    def test_unknown_oracle_raises(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            still_diverges(program("(+ 1 2)"), "bogus")

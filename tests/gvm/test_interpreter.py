@@ -68,31 +68,10 @@ class TestLimitations:
             interp.eval(read_string("(future 1)"))
 
 
-DIFFERENTIAL_PROGRAMS = [
-    "(+ 1 2 3)",
-    "(* (+ 1 2) (- 10 4))",
-    "(let ((x 5)) (if (> x 3) :big :small))",
-    "(let* ((a 1) (b (+ a 1)) (c (* b b))) (list a b c))",
-    "((lambda (f x) (f (f x))) (lambda (n) (* n n)) 3)",
-    "(loop for i from 1 to 10 sum i)",
-    "(loop for x in (list 1 2 3 4) when (evenp x) collect (* x x))",
-    "(block b (dolist (x (list 1 2 3)) (when (= x 2) (return-from b x))))",
-    "(reverse (append (list 1 2) (list 3)))",
-    "(length (remove 2 (list 1 2 3 2)))",
-    "(cond ((= 1 2) :a) ((= 2 2) :b) (t :c))",
-    "(case (+ 1 1) (1 :one) (2 :two))",
-    '(concat "a" "b")',
-    "(and 1 2 nil 3)",
-    "(or nil nil 7)",
-]
-
-
-class TestDifferential:
-    """Same program, two engines, identical answers (bench S4c's
-    correctness precondition)."""
-
-    @pytest.mark.parametrize("program", DIFFERENTIAL_PROGRAMS)
-    def test_vm_and_interpreter_agree(self, rt, interp, program):
-        vm_value = rt.eval_string(program)
-        tree_value = interp.eval(read_string(program))
-        assert vm_value == tree_value, program
+# The VM-vs-interpreter differential programs that used to live here
+# (DIFFERENTIAL_PROGRAMS) migrated to the conformance corpus as the
+# ``seed-diff-*`` entries: tests/conformance/test_corpus.py replays
+# them through the full oracle matrix (tree, VM, pickle-roundtripped
+# continuations, distributed Vinz) instead of just two engines, and
+# ``python -m repro fuzz`` extends the same check to generated
+# programs.  See docs/conformance.md.

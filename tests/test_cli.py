@@ -64,6 +64,17 @@ class TestCli:
         out = cli("repl", stdin="(* 6 7)\n:quit\n")
         assert "42" in out
 
+    def test_fuzz(self, tmp_path):
+        report = tmp_path / "report.json"
+        out = cli("fuzz", "--seed", "11", "--budget", "8",
+                  "--vinz-every", "8", "--report", str(report))
+        assert "unclassified divergences: 0" in out
+        assert "coverage:" in out
+        import json
+
+        doc = json.loads(report.read_text())
+        assert doc["programs"] == 8
+
     def test_bad_command_exits_nonzero(self):
         proc = subprocess.run([sys.executable, "-m", "repro", "bogus"],
                               capture_output=True, text=True, timeout=60)

@@ -23,7 +23,6 @@ from repro.faults import (
 )
 from repro.faults.campaign import run_campaign
 from repro.gvm.runtime import make_runtime
-from repro.gvm.interpreter import TreeInterpreter
 from repro.lang.printer import print_form
 from repro.lang.reader import read_string
 from repro.lang.symbols import Keyword, Symbol
@@ -83,18 +82,24 @@ class TestReaderRoundTrip:
 
 
 # ---------------------------------------------------------------------------
-# VM vs tree interpreter (differential)
+# VM vs ground truth (the differential block moved to conformance)
 # ---------------------------------------------------------------------------
 
-@pytest.fixture(scope="module")
-def shared_rt():
-    return make_runtime(deterministic=True)
+# The old TestVMDifferential block migrated to the conformance
+# subsystem: representative instances live in
+# tests/conformance/corpus/ as the ``seed-prop-*`` entries (replayed
+# through the full oracle matrix by tests/conformance/test_corpus.py),
+# and the randomized family those properties sampled is generated and
+# differentially executed by ``python -m repro fuzz`` (see
+# docs/conformance.md).  The ground-truth-vs-Python variants keep one
+# hypothesis check here so a VM regression that breaks *both* engines
+# equally still fails.
 
 
-class TestVMDifferential:
+class TestVMGroundTruth:
     @given(st.lists(st.integers(min_value=-1000, max_value=1000),
                     min_size=0, max_size=20))
-    @settings(max_examples=50, suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @settings(max_examples=25)
     def test_sum_squares_matches_python(self, numbers):
         rt = make_runtime(deterministic=True)
         listed = " ".join(str(n) for n in numbers)
@@ -102,34 +107,13 @@ class TestVMDifferential:
             (apply #'+ (loop for n in (list {listed}) collect (* n n)))""")
         assert value == sum(n * n for n in numbers)
 
-    @given(st.integers(min_value=0, max_value=12))
-    @settings(max_examples=20)
-    def test_factorial_vm_vs_interpreter(self, n):
-        rt = make_runtime(deterministic=True)
-        interp = TreeInterpreter(rt.global_env, apply_fn=rt.apply)
-        src = "(defun pf (n) (if (<= n 1) 1 (* n (pf (- n 1)))))"
-        rt.eval_string(src)
-        from repro.lang.reader import read_string as rs
-
-        interp.eval(rs(src))
-        assert rt.eval_string(f"(pf {n})") == interp.eval(rs(f"(pf {n})"))
-
     @given(st.lists(st.integers(min_value=-100, max_value=100),
                     min_size=1, max_size=15))
-    @settings(max_examples=50)
+    @settings(max_examples=25)
     def test_sort_is_sorted(self, xs):
         rt = make_runtime(deterministic=True)
         listed = " ".join(str(x) for x in xs)
         assert rt.eval_string(f"(sort (list {listed}))") == sorted(xs)
-
-    @given(st.lists(st.integers(), min_size=0, max_size=15),
-           st.lists(st.integers(), min_size=0, max_size=15))
-    @settings(max_examples=50)
-    def test_append_matches_python(self, a, b):
-        rt = make_runtime(deterministic=True)
-        la = " ".join(map(str, a))
-        lb = " ".join(map(str, b))
-        assert rt.eval_string(f"(append (list {la}) (list {lb}))") == a + b
 
 
 # ---------------------------------------------------------------------------
